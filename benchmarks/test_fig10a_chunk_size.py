@@ -1,0 +1,30 @@
+"""Figure 10a: COAL performance vs SharedOA's initial chunk size.
+
+Paper: performance is stable across initial region sizes 4K..4M
+objects (only GEN moves much), and COAL stays well above CUDA at every
+size.  Swept here at 1/64 the paper's axis over a subset of workloads
+to keep the sweep tractable.
+"""
+from repro.harness import fig10_chunk_sweep
+
+from conftest import BENCH_SCALE, save_result
+
+CHUNKS = (64, 512, 4096, 32768)
+WORKLOADS = ("TRAF", "GOL", "BFS-vE", "STUT")
+
+
+def test_fig10a_chunk_size(bench_once):
+    fig_a, _ = bench_once(
+        fig10_chunk_sweep, workloads=WORKLOADS, chunk_sizes=CHUNKS,
+        scale=BENCH_SCALE,
+    )
+    save_result("fig10a_chunk_size", fig_a.table)
+    gm = fig_a.summary
+
+    # COAL beats CUDA at every chunk size
+    for chunk, v in gm.items():
+        assert v > 1.0, (chunk, v)
+
+    # stability: the GM varies by less than 40% across the sweep
+    lo, hi = min(gm.values()), max(gm.values())
+    assert hi / lo < 1.4

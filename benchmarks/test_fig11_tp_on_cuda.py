@@ -1,0 +1,43 @@
+"""Figure 11: TypePointer applied to the default CUDA allocator.
+
+Paper (simulation, GM): +18% over CUDA without changing allocation.
+Shape: a positive gain on (nearly) every workload, smaller than the
+gain TypePointer achieves on top of SharedOA.
+"""
+from repro.harness import fig6_performance, fig11_tp_on_cuda
+
+from conftest import BENCH_SCALE, save_result
+
+
+def test_fig11_tp_on_cuda(bench_once):
+    result = bench_once(fig11_tp_on_cuda, scale=BENCH_SCALE)
+    save_result("fig11_tp_on_cuda", result.table)
+    gm = result.summary
+
+    assert abs(gm["cuda"] - 1.0) < 1e-9
+    # allocator-independent gain (paper: 1.18)
+    assert 1.02 < gm["tp_on_cuda"] < 1.6
+
+    # gains on the strong majority of workloads
+    workloads = {wl for wl, _ in result.values}
+    wins = sum(result.values[(wl, "tp_on_cuda")] > 0.99 for wl in workloads)
+    assert wins >= len(workloads) - 1
+
+
+def test_tp_gains_more_on_sharedoa_than_on_cuda(bench_once):
+    """TypePointer-on-SharedOA beats TypePointer-on-CUDA in absolute
+    performance: the allocator effects compose with the dispatch win."""
+    fig6 = bench_once(fig6_performance, scale=BENCH_SCALE)
+    fig11 = fig11_tp_on_cuda(scale=BENCH_SCALE)
+    # compare absolute cycles through the shared normalisations:
+    # fig6: tp/sharedoa and cuda/sharedoa; fig11: tp_on_cuda/cuda
+    from repro.harness import run_one
+
+    workloads = sorted({wl for wl, _ in fig6.values})
+    better = 0
+    for wl in workloads:
+        tp_soa = run_one(wl, "typepointer", scale=BENCH_SCALE).cycles
+        tp_cuda = run_one(wl, "tp_on_cuda", scale=BENCH_SCALE).cycles
+        if tp_soa <= tp_cuda:
+            better += 1
+    assert better >= len(workloads) - 2

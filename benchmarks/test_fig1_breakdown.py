@@ -1,0 +1,21 @@
+"""Figure 1b: direct-cost breakdown of a CUDA virtual function call.
+
+Paper: ~87% of the added latency is the diverged vTable-pointer load
+(A); the vFunc* load (B) and the indirect call (C) are minor.  The
+asserted shape: A dominates, and B and C are each small.
+"""
+from repro.harness import fig1_breakdown
+
+from conftest import BENCH_SCALE, save_result
+
+
+def test_fig1_breakdown(bench_once):
+    result = bench_once(fig1_breakdown, scale=BENCH_SCALE)
+    save_result("fig1_breakdown", result.table)
+    shares = result.summary
+
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    # the diverged vTable* load dominates (paper: 87%)
+    assert shares["load_vtable_ptr"] > 0.6
+    assert shares["load_vtable_ptr"] > 3 * shares["load_vfunc_ptr"]
+    assert shares["indirect_call"] < 0.2

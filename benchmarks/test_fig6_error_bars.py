@@ -1,0 +1,44 @@
+"""Figure 6's error bars: repeated runs, average / max / min (§7).
+
+"For all our experiments ... we run each program 10 times and report
+the average as well as the maximum and minimum performance of the
+computation kernels."  Our runs are deterministic per input, so the
+spread comes from input seeds.  Asserted shape: the bars are tight
+(the published ones are barely visible) and never wide enough to
+reorder the techniques on any sampled workload.
+"""
+from repro.gpu.config import scaled_config
+from repro.harness.profile_report import run_repeated
+
+from conftest import save_result
+
+WORKLOADS = ("TRAF", "GOL", "BFS-vE")
+TECHS = ("cuda", "sharedoa", "typepointer")
+SEEDS = (3, 7, 11, 19)
+SCALE = 0.12
+
+
+def test_fig6_error_bars(bench_once):
+    def sweep():
+        return {
+            (wl, t): run_repeated(wl, t, seeds=SEEDS, scale=SCALE,
+                                  config=scaled_config())
+            for wl in WORKLOADS for t in TECHS
+        }
+
+    runs = bench_once(sweep)
+
+    lines = ["Figure 6 error bars: cycles over repeated seeded runs",
+             f"{'workload':9s} {'technique':12s} {'mean':>10s} {'min':>10s} "
+             f"{'max':>10s} {'spread':>7s}"]
+    for (wl, t), r in runs.items():
+        lines.append(f"{wl:9s} {t:12s} {r.mean:>10.0f} {r.min:>10.0f} "
+                     f"{r.max:>10.0f} {r.spread:>7.1%}")
+        # bars are tight, as in the published figure
+        assert r.spread < 0.30, (wl, t, r.spread)
+    save_result("fig6_error_bars", "\n".join(lines))
+
+    # bars never reorder the techniques: worst TypePointer beats best
+    # CUDA on every sampled workload
+    for wl in WORKLOADS:
+        assert runs[(wl, "typepointer")].max < runs[(wl, "cuda")].min

@@ -1,0 +1,34 @@
+"""Figure 6: performance of all techniques normalized to SharedOA.
+
+Paper (silicon V100, GM): CUDA 0.59, Concord 0.72, SharedOA 1.00,
+COAL 1.06, TypePointer 1.12.  The asserted shape: CUDA worst, Concord
+between CUDA and SharedOA, COAL and TypePointer above SharedOA with
+TypePointer >= COAL, and COAL never losing to CUDA anywhere.
+"""
+from repro.harness import fig6_performance
+
+from conftest import BENCH_SCALE, save_result
+
+
+def test_fig6_performance(bench_once):
+    result = bench_once(fig6_performance, scale=BENCH_SCALE)
+    save_result("fig6_performance", result.table)
+    gm = result.summary
+
+    # ordering of the geometric means (Figure 6's headline)
+    assert gm["cuda"] < gm["concord"] < 1.0
+    assert gm["coal"] > 1.0
+    assert gm["typepointer"] >= gm["coal"]
+
+    # rough magnitudes: CUDA loses large, COAL/TP gain moderately
+    assert 0.35 < gm["cuda"] < 0.85
+    assert 1.0 < gm["coal"] < 1.35
+    assert 1.0 < gm["typepointer"] < 1.40
+
+    # COAL is always significantly better than CUDA (paper section 8.2)
+    workloads = {wl for wl, _ in result.values}
+    for wl in workloads:
+        assert result.values[(wl, "coal")] >= result.values[(wl, "cuda")]
+
+    # the RAY outlier: uniform call sites mean COAL ~ SharedOA there
+    assert abs(result.values[("RAY", "coal")] - 1.0) < 0.05

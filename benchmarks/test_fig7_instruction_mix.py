@@ -1,0 +1,37 @@
+"""Figure 7: dynamic warp instruction breakdown normalized to SharedOA.
+
+Paper: Concord +28%, COAL +83%, TypePointer +19% total instructions;
+CUDA identical to SharedOA (the allocator does not change the code);
+Concord halves memory instructions but adds compute+control.
+"""
+from repro.harness import fig7_instruction_mix
+
+from conftest import BENCH_SCALE, save_result
+
+
+def test_fig7_instruction_mix(bench_once):
+    result = bench_once(fig7_instruction_mix, scale=BENCH_SCALE)
+    save_result("fig7_instruction_mix", result.table)
+    avg = result.summary
+
+    # CUDA == SharedOA instruction streams
+    assert abs(avg["cuda"] - 1.0) < 1e-9
+    assert abs(avg["sharedoa"] - 1.0) < 1e-9
+
+    # every technique adds instructions; COAL adds the most
+    assert avg["concord"] > 1.0
+    assert avg["coal"] > avg["typepointer"] > 1.0
+    assert avg["coal"] > avg["concord"]
+
+    # COAL's growth is large (paper +83%); TP's is modest (paper +19%)
+    assert 1.2 < avg["coal"] < 2.4
+    assert 1.02 < avg["typepointer"] < 1.5
+
+    # Concord trades memory instructions for compute/control
+    workloads = {wl for wl, _ in result.values}
+    fewer_mem = sum(
+        result.values[(wl, "concord")]["MEM"]
+        < result.values[(wl, "sharedoa")]["MEM"]
+        for wl in workloads
+    )
+    assert fewer_mem >= len(workloads) - 1

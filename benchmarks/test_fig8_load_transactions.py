@@ -1,0 +1,25 @@
+"""Figure 8: global load transactions normalized to SharedOA.
+
+Paper (GM): CUDA 1.00, Concord 0.82, COAL 0.86, TypePointer 0.81.
+Shape: removing or shrinking the per-object type access reduces load
+transactions; TypePointer reduces them the most of the vTable-based
+techniques; COAL's reduction is partly offset by its range-check loads.
+"""
+from repro.harness import fig8_load_transactions
+
+from conftest import BENCH_SCALE, save_result
+
+
+def test_fig8_load_transactions(bench_once):
+    result = bench_once(fig8_load_transactions, scale=BENCH_SCALE)
+    save_result("fig8_load_transactions", result.table)
+    gm = result.summary
+
+    assert abs(gm["sharedoa"] - 1.0) < 1e-9
+    # COAL cuts loads despite adding range-table walks (paper: 14%)
+    assert gm["coal"] < 1.0
+    # TypePointer cuts more: no lookup traffic at all (paper: 19%)
+    assert gm["typepointer"] < gm["coal"]
+    assert 0.6 < gm["typepointer"] < 0.95
+    # Concord drops the vFunc* load
+    assert gm["concord"] < gm["cuda"]

@@ -1,0 +1,109 @@
+"""Model-robustness study: do the paper's orderings survive the knobs?
+
+The headline calibration fixes three cost-model parameters (DRAM
+row-miss penalty, resident warps per SM, DRAM bandwidth).  A
+reproduction is only credible if the *qualitative* result -- CUDA <
+Concord < SharedOA <= COAL <= TypePointer -- does not hinge on the
+particular values chosen.  This bench sweeps each knob across a wide
+range and asserts the ordering at every point.
+"""
+import dataclasses
+
+from repro.gpu.config import scaled_config
+from repro.harness import geomean, run_one
+
+from conftest import save_result
+
+WORKLOADS = ("GOL", "STUT", "BFS-vE")
+TECHS = ("cuda", "concord", "sharedoa", "coal", "typepointer")
+SCALE = 0.15
+
+
+def _gm_perf(config):
+    """GM performance normalized to SharedOA under one config."""
+    out = {}
+    for tech in TECHS:
+        ratios = []
+        for wl in WORKLOADS:
+            base = run_one(wl, "sharedoa", scale=SCALE, config=config)
+            rec = run_one(wl, tech, scale=SCALE, config=config)
+            ratios.append(base.cycles / rec.cycles)
+        out[tech] = geomean(ratios)
+    return out
+
+
+def _assert_ordering(gm, label):
+    assert gm["cuda"] < 1.0, (label, gm)
+    assert gm["cuda"] <= gm["concord"] * 1.02, (label, gm)
+    assert gm["coal"] > 0.97, (label, gm)
+    assert gm["typepointer"] >= gm["coal"] * 0.99, (label, gm)
+
+
+def test_sensitivity_row_penalty(bench_once):
+    def sweep():
+        out = {}
+        for pen in (2.0, 6.0, 12.0):
+            cfg = dataclasses.replace(
+                scaled_config(), name=f"sens-pen{pen}",
+                dram_row_miss_penalty_sectors=pen,
+            )
+            out[pen] = _gm_perf(cfg)
+        return out
+
+    results = bench_once(sweep)
+    lines = ["Sensitivity: DRAM row-miss penalty (GM perf vs SharedOA)",
+             f"{'penalty':>8s} " + " ".join(f"{t:>12s}" for t in TECHS)]
+    for pen, gm in results.items():
+        lines.append(f"{pen:>8.1f} "
+                     + " ".join(f"{gm[t]:>12.3f}" for t in TECHS))
+        _assert_ordering(gm, f"penalty={pen}")
+    save_result("sensitivity_row_penalty", "\n".join(lines))
+
+    # the penalty is what separates the allocators: bigger penalty,
+    # bigger CUDA loss
+    assert results[12.0]["cuda"] < results[2.0]["cuda"]
+
+
+def test_sensitivity_resident_warps(bench_once):
+    def sweep():
+        out = {}
+        for res in (4, 12, 32):
+            cfg = dataclasses.replace(
+                scaled_config(), name=f"sens-res{res}",
+                resident_warps_per_sm=res,
+            )
+            out[res] = _gm_perf(cfg)
+        return out
+
+    results = bench_once(sweep)
+    lines = ["Sensitivity: resident warps per SM (GM perf vs SharedOA)",
+             f"{'resident':>8s} " + " ".join(f"{t:>12s}" for t in TECHS)]
+    for res, gm in results.items():
+        lines.append(f"{res:>8d} "
+                     + " ".join(f"{gm[t]:>12.3f}" for t in TECHS))
+        _assert_ordering(gm, f"resident={res}")
+    save_result("sensitivity_resident_warps", "\n".join(lines))
+
+
+def test_sensitivity_dram_bandwidth(bench_once):
+    def sweep():
+        out = {}
+        for bw in (2.0, 4.0, 8.0):
+            cfg = dataclasses.replace(
+                scaled_config(), name=f"sens-bw{bw}",
+                dram_sectors_per_cycle=bw,
+            )
+            out[bw] = _gm_perf(cfg)
+        return out
+
+    results = bench_once(sweep)
+    lines = ["Sensitivity: DRAM bandwidth (GM perf vs SharedOA)",
+             f"{'sect/cyc':>8s} " + " ".join(f"{t:>12s}" for t in TECHS)]
+    for bw, gm in results.items():
+        lines.append(f"{bw:>8.1f} "
+                     + " ".join(f"{gm[t]:>12.3f}" for t in TECHS))
+        _assert_ordering(gm, f"bandwidth={bw}")
+    save_result("sensitivity_dram_bandwidth", "\n".join(lines))
+
+    # more bandwidth headroom narrows every gap toward 1.0
+    assert results[8.0]["cuda"] > results[2.0]["cuda"]

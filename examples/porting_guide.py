@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Porting walkthrough: from CPU objects to GPU dispatch, step by step.
+
+Mirrors the artifact-appendix tutorial (SharedOA -> COAL ->
+TypePointer): take one polymorphic particle hierarchy and move it
+through the three techniques, showing what each one changes --
+allocation layout, the dispatch instruction sequence, and the pointer
+bits themselves.
+
+Run:  python examples/porting_guide.py
+"""
+import numpy as np
+
+from repro import Machine, TypeDescriptor
+from repro.gpu.config import scaled_config
+from repro.memory.address_space import decode_tag, strip_tag
+from repro.runtime.unified import SharedObjectSpace, cpu_call
+
+
+def heavy_step(ctx, objs):
+    v = ctx.load_field(objs, Particle, "v")
+    ctx.alu(1)
+    ctx.store_field(objs, Particle, "v", v * np.float32(0.9))
+
+
+def light_step(ctx, objs):
+    v = ctx.load_field(objs, Particle, "v")
+    ctx.alu(1)
+    ctx.store_field(objs, Particle, "v", v * np.float32(1.1))
+
+
+Particle = TypeDescriptor(
+    "Particle", fields=[("v", "f32")], methods={"step": None}
+)
+Heavy = TypeDescriptor("Heavy", base=Particle, methods={"step": heavy_step})
+Light = TypeDescriptor("Light", base=Particle, methods={"step": light_step})
+
+
+def step_kernel(machine, ptrs):
+    arr = machine.array_from(ptrs, "u64")
+
+    def kernel(ctx):
+        ctx.vcall(arr.ld(ctx, ctx.tid), Particle, "step")
+
+    return kernel
+
+
+def main():
+    n = 4096
+
+    # ------------------------------------------------------------------
+    print("STEP 1 -- SharedOA: share objects between CPU and GPU")
+    print("-" * 60)
+    m = Machine("sharedoa", config=scaled_config())
+    space = SharedObjectSpace(m)
+    heavies = space.shared_new(Heavy, n // 2)
+    lights = space.shared_new(Light, n // 2)
+    space.run_init_kernel()  # patch GPU vTable pointers (section 7)
+    ptrs = np.concatenate([heavies, lights])
+
+    # the same object dispatches on the CPU...
+    impl, tdesc = cpu_call(m, heavies[0], Particle, "step")
+    print(f"CPU-side dispatch resolved {tdesc.name}.step -> {impl.__name__}")
+    # ...and on the GPU
+    m.launch(step_kernel(m, ptrs), n)
+    print(f"GPU ran {m.run_stats.vfunc_calls} virtual calls")
+    print(f"SharedOA packed Heavy objects contiguously: "
+          f"stride {int(heavies[1] - heavies[0])} bytes\n")
+
+    # ------------------------------------------------------------------
+    print("STEP 2 -- COAL: find the vTable from the address alone")
+    print("-" * 60)
+    m = Machine("coal", config=scaled_config())
+    heavies = m.new_objects(Heavy, n // 2)
+    lights = m.new_objects(Light, n // 2)
+    ptrs = np.concatenate([heavies, lights])
+    stats = m.launch(step_kernel(m, ptrs), n)
+    table = m.strategy.range_table
+    print(f"virtual range table: {table.num_ranges} ranges, "
+          f"segment tree depth {table.depth}")
+    for base, end, t in table.entries:
+        print(f"  [{base:#x}, {end:#x})  ->  {t.name}")
+    print(f"zero per-object vTable loads; lookup hits L1 "
+          f"({stats.l1_hit_rate:.0%} overall)\n")
+
+    # ------------------------------------------------------------------
+    print("STEP 3 -- TypePointer: the pointer IS the type")
+    print("-" * 60)
+    m = Machine("typepointer", config=scaled_config())
+    heavies = m.new_objects(Heavy, n // 2)
+    lights = m.new_objects(Light, n // 2)
+    ptrs = np.concatenate([heavies, lights])
+    p = int(heavies[0])
+    print(f"a Heavy pointer : {p:#018x}")
+    print(f"  address bits  : {strip_tag(p):#x}")
+    print(f"  tag (vTable @): arena+{decode_tag(p):#x}")
+    print(f"  resolves to   : "
+          f"{m.arena.type_of_tag(decode_tag(p)).name}")
+    stats = m.launch(step_kernel(m, ptrs), n)
+    print(f"dispatch used SHR/ADD + one converged load -- "
+          f"{stats.global_load_transactions} total load transactions "
+          f"(vs the diverged baseline)")
+    print("\nDone: same program, three techniques, one simulator.")
+
+
+if __name__ == "__main__":
+    main()

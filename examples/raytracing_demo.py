@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Render the RAY scene to ASCII art and study the uniform-call outlier.
+
+RAY is the paper's outlier workload: every lane of a warp tests its
+ray against the *same* renderable object, so the vTable-pointer load
+is converged and cheap.  COAL's compiler heuristic therefore declines
+to instrument RAY's call sites (section 5), and the techniques come
+out nearly even -- unlike everywhere else.
+
+Run:  python examples/raytracing_demo.py
+"""
+from repro import Machine
+from repro.gpu.config import scaled_config
+from repro.gpu.isa import ROLE_DISPATCH_OVERHEAD, ROLE_LOAD_VTABLE
+from repro.workloads import make_workload
+
+SHADES = " .:-=+*#%@"
+
+
+def ascii_render(image):
+    hi = image.max() or 1.0
+    rows = []
+    for row in image:
+        rows.append("".join(
+            SHADES[min(int(v / hi * (len(SHADES) - 1)), len(SHADES) - 1)]
+            for v in row
+        ))
+    return "\n".join(rows)
+
+
+def main():
+    m = Machine("coal", config=scaled_config())
+    wl = make_workload("RAY", m, scale=1.0, seed=8)
+    stats = wl.run(1)
+
+    print(ascii_render(wl.image()))
+    print(f"\n{wl.width}x{wl.height} pixels, "
+          f"{len(wl.scene_ptrs)} objects (spheres + planes)")
+    print(f"virtual hit() calls: {stats.vfunc_calls}")
+    print(f"vFuncPKI: {stats.vfunc_pki:.1f} (paper Table 2: 15.4 -- "
+          f"the low outlier)")
+
+    # The section-5 heuristic in action: RAY's call sites are uniform,
+    # so COAL used plain vTable dispatch and did zero range lookups.
+    walks = stats.role_transactions.get(ROLE_DISPATCH_OVERHEAD, 0)
+    vtable_loads = stats.role_transactions.get(ROLE_LOAD_VTABLE, 0)
+    print(f"\nCOAL range-table lookup traffic : {walks} sectors")
+    print(f"plain vTable-pointer traffic    : {vtable_loads} sectors")
+    print("-> COAL's static analysis skipped these uniform call sites, "
+          "exactly as the paper describes for RAY.")
+
+
+if __name__ == "__main__":
+    main()

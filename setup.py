@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package (this environment has no network access to fetch it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list                       # available experiments
+    python -m repro fig6 [--scale 0.25]        # one experiment
+    python -m repro all  [--scale 0.1]         # everything
+    python -m repro disasm typepointer         # show a lowering
+    python -m repro profile TRAF --technique coal   # nvprof-style counters
+    python -m repro fuzz 100                   # differential dispatch fuzzing
+
+Each experiment prints the same text table the benchmark suite writes
+to ``benchmarks/results/`` and EXPERIMENTS.md quotes.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.instrumentation import disassemble
+from .gpu.config import scaled_config
+from .gpu.machine import Machine, TECHNIQUES
+from .harness import (
+    fig1_breakdown,
+    fig6_performance,
+    fig7_instruction_mix,
+    fig8_load_transactions,
+    fig9_l1_hit_rate,
+    fig10_chunk_sweep,
+    fig11_tp_on_cuda,
+    fig12a_object_scaling,
+    fig12b_type_scaling,
+    init_performance,
+    table1_access_model,
+    table2_workloads,
+)
+
+EXPERIMENTS = {
+    "fig1": lambda scale: fig1_breakdown(scale=scale),
+    "table1": lambda scale: table1_access_model(),
+    "table2": lambda scale: table2_workloads(scale=scale),
+    "fig6": lambda scale: fig6_performance(scale=scale),
+    "fig7": lambda scale: fig7_instruction_mix(scale=scale),
+    "fig8": lambda scale: fig8_load_transactions(scale=scale),
+    "fig9": lambda scale: fig9_l1_hit_rate(scale=scale),
+    "fig10": lambda scale: fig10_chunk_sweep(scale=scale),
+    "fig11": lambda scale: fig11_tp_on_cuda(scale=scale),
+    "fig12a": lambda scale: fig12a_object_scaling(),
+    "fig12b": lambda scale: fig12b_type_scaling(),
+    "init": lambda scale: init_performance(),
+}
+
+
+def _print_result(name: str, result) -> None:
+    if name == "fig10":
+        print(result[0].table)
+        print()
+        print(result[1].table)
+    elif name == "init":
+        print(f"Init-phase speedup over {result.objects} objects: "
+              f"{result.speedup:.1f}x (paper: ~80x)")
+    else:
+        print(result.table)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables and figures of 'Judging a Type "
+                    "by Its Pointer' (ASPLOS 2021) in simulation.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (see 'list'), 'all', 'list', "
+                             "'disasm' or 'profile'")
+    parser.add_argument("target", nargs="?", default="typepointer",
+                        help="technique for 'disasm'; workload for "
+                             f"'profile' (techniques: {', '.join(TECHNIQUES)})")
+    parser.add_argument("--technique", default="typepointer",
+                        help="technique for 'profile' (default typepointer)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor (default 0.25)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("experiments:", ", ".join(EXPERIMENTS),
+              "| all | disasm | profile | fuzz")
+        return 0
+
+    if args.experiment == "disasm":
+        print(f"; virtual call lowering under {args.target!r}")
+        for line in disassemble(args.target):
+            print("  " + line)
+        return 0
+
+    if args.experiment == "fuzz":
+        from .harness.fuzz import fuzz
+
+        n = int(args.target) if args.target.isdigit() else 50
+        report = fuzz(num_programs=n)
+        print(f"fuzzed {report.programs} programs: "
+              f"{'all techniques agree with the oracle' if report.ok else 'DIVERGENCES'}")
+        for d in report.divergences:
+            print("  " + d)
+        return 0 if report.ok else 1
+
+    if args.experiment == "profile":
+        from .harness.profile_report import profile_report
+        from .workloads import make_workload
+
+        m = Machine(args.technique, config=scaled_config())
+        wl = make_workload(args.target, m, scale=args.scale)
+        wl.run()
+        print(profile_report(
+            m, title=f"profile: {args.target} under {args.technique}"
+        ))
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; try 'list'")
+
+    for name in names:
+        t0 = time.time()
+        result = EXPERIMENTS[name](args.scale)
+        _print_result(name, result)
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

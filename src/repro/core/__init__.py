@@ -1,0 +1,32 @@
+"""Core contribution: dispatch strategies and COAL's range table."""
+
+from .dispatch import (
+    COALDispatch,
+    ConcordDispatch,
+    DispatchStrategy,
+    SharedVTableDispatch,
+    TypePointerDispatch,
+    VTableDispatch,
+)
+from .instrumentation import (
+    CallSite,
+    disassemble,
+    mnemonics,
+    should_instrument_coal,
+)
+from .range_table import NODE_BYTES, VirtualRangeTable
+
+__all__ = [
+    "CallSite",
+    "disassemble",
+    "mnemonics",
+    "should_instrument_coal",
+    "COALDispatch",
+    "ConcordDispatch",
+    "DispatchStrategy",
+    "SharedVTableDispatch",
+    "TypePointerDispatch",
+    "VTableDispatch",
+    "NODE_BYTES",
+    "VirtualRangeTable",
+]

@@ -1,0 +1,300 @@
+"""Virtual-function dispatch strategies (the paper's core contribution).
+
+Each strategy lowers ``obj->vfunc()`` into the instruction/memory
+sequence of one technique (Table 1), charging the execution context as
+it resolves each lane's target function *functionally* -- through its
+own data structure, so a bug in (say) the segment tree produces wrong
+workload output, not just wrong cycle counts:
+
+======================  ====================================================
+``VTableDispatch``      contemporary CUDA (and SharedOA, which only changes
+                        the allocator): LDG vTable* (A, diverged per
+                        object), LDG vFunc* (B, per type), indirect CALL (C)
+``ConcordDispatch``     Concord (Barik et al.): LDG embedded type tag
+                        (diverged), compiler-generated switch (compute +
+                        direct branches), no vFunc* load, no indirect call
+``COALDispatch``        COAL: segment-tree walk of the virtual range table
+                        (Algorithm 1) replaces A; B and C unchanged.
+                        Statically-uniform call sites are not instrumented
+                        (section 5 heuristic) and use the CUDA lowering.
+``TypePointerDispatch`` TypePointer: SHR + ADD recover the vTable from the
+                        pointer's tag bits (Figure 5b); zero accesses for A
+======================  ====================================================
+
+Every strategy also owns the object *header* its technique needs and
+writes it at construction time.
+"""
+from __future__ import annotations
+
+import abc
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..errors import DispatchError
+from ..gpu.isa import (
+    ROLE_DISPATCH_OVERHEAD,
+    ROLE_LOAD_VFUNC,
+    ROLE_LOAD_VTABLE,
+    Opcode,
+)
+from ..memory.address_space import decode_tag_array, strip_tag_array
+from ..runtime.typesystem import TypeDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpu.machine import Machine
+
+
+class DispatchStrategy(abc.ABC):
+    """Base class for the per-technique virtual-call lowering."""
+
+    #: short name used in reports
+    name: str = "abstract"
+    #: bytes of per-object header this technique requires
+    header_size: int = 8
+    #: True when calls resolve to direct branches the compiler can see
+    #: (Concord); False for true indirect dispatch
+    direct_call: bool = False
+    #: True when member dereferences must mask tag bits in software
+    #: (TypePointer software prototype, section 6.3)
+    software_mask: bool = False
+
+    def __init__(self):
+        self.machine: Optional["Machine"] = None
+
+    def bind(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
+        """Write the technique's object header at canonical ``addr``."""
+
+    def prepare_launch(self) -> None:
+        """Hook run before each kernel launch (COAL rebuilds its tree)."""
+
+    @abc.abstractmethod
+    def resolve(
+        self, ctx, objptrs: np.ndarray, slot: int, uniform: bool = False
+    ) -> np.ndarray:
+        """Charge the lowering and return per-lane target code addresses.
+
+        ``uniform`` is the compiler's static knowledge that every lane
+        calls through the same object (section 5); only COAL changes
+        behaviour on it, but all strategies receive it.
+        """
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _write_vtable_header(self, addr: int, type_desc: TypeDescriptor) -> None:
+        """Store the GPU vTable pointer at offset 0 (all vTable headers)."""
+        arena = self.machine.arena
+        self.machine.heap.store(addr, "u64", arena.vtable_addr(type_desc))
+
+    def _vtable_resolve(self, ctx, objptrs: np.ndarray, slot: int) -> np.ndarray:
+        """The contemporary-CUDA lowering of Figure 1a (ops A and B)."""
+        # A: diverged load of each object's embedded vTable pointer
+        vtables = ctx.load(objptrs, "u64", role=ROLE_LOAD_VTABLE)
+        # B: per-type load of the virtual function pointer
+        entry_addrs = vtables + np.uint64(8 * slot)
+        return ctx.load(entry_addrs, "u64", role=ROLE_LOAD_VFUNC)
+
+
+class VTableDispatch(DispatchStrategy):
+    """Contemporary CUDA dispatch: embedded vTable pointer per object."""
+
+    name = "vtable"
+    header_size = 8
+
+    def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
+        self._write_vtable_header(addr, type_desc)
+
+    def resolve(self, ctx, objptrs, slot, uniform=False):
+        return self._vtable_resolve(ctx, objptrs, slot)
+
+
+class SharedVTableDispatch(VTableDispatch):
+    """CUDA dispatch over SharedOA's shared-object header.
+
+    SharedOA objects carry *two* vTable pointers -- one for the CPU and
+    one for the GPU (section 4) -- so the header is 16 bytes.  The GPU
+    pointer sits at offset 0 and the lowering is unchanged; only the
+    layout (and therefore the address stream) differs.
+    """
+
+    name = "vtable-shared"
+    header_size = 16
+
+    def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
+        self._write_vtable_header(addr, type_desc)
+        # CPU-side vTable pointer: modelled as a distinct (host) address;
+        # we store the arena address with the top bit of the low word set
+        # to keep it recognisably different from the GPU pointer.
+        cpu_vt = self.machine.arena.vtable_addr(type_desc) ^ 0x1
+        self.machine.heap.store(addr + 8, "u64", cpu_vt)
+
+
+class ConcordDispatch(DispatchStrategy):
+    """Type tags + switch statements, after Intel Concord (CGO'14).
+
+    The 4-byte embedded tag replaces the 8-byte vTable pointer, so
+    Concord objects are denser than CUDA's -- part of why it outruns
+    CUDA despite still dereferencing every object for its type.
+    """
+
+    name = "concord"
+    header_size = 4
+    direct_call = True
+
+    def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
+        tag = self.machine.registry.type_id(type_desc)
+        self.machine.heap.store(addr, "u32", tag)
+
+    def resolve(self, ctx, objptrs, slot, uniform=False):
+        registry = self.machine.registry
+        arena = self.machine.arena
+        # diverged load of the embedded tag (same cost shape as op A)
+        tags = ctx.load(objptrs, "u32", role=ROLE_LOAD_VTABLE)
+
+        # compiler-generated switch: a balanced compare/branch tree over
+        # the statically-known call targets
+        num_types = max(len(registry.concrete_types()), 1)
+        levels = max(1, math.ceil(math.log2(num_types)) if num_types > 1 else 1)
+        for _ in range(levels):
+            ctx.alu(1, op=Opcode.SETP, role=ROLE_DISPATCH_OVERHEAD)
+            ctx.ctrl(1, op=Opcode.BRA, role=ROLE_DISPATCH_OVERHEAD)
+
+        # resolve each lane's implementation from its tag (direct target)
+        targets = np.zeros(len(tags), dtype=np.uint64)
+        for tag in np.unique(tags):
+            tdesc = registry.by_id(int(tag))
+            impls = tdesc.vtable_impls()
+            if slot >= len(impls) or impls[slot] is None:
+                raise DispatchError(
+                    f"Concord switch hit abstract slot {slot} of {tdesc.name!r}"
+                )
+            code = arena._code_addr_for(impls[slot])
+            targets[tags == tag] = code
+        return targets
+
+
+class COALDispatch(DispatchStrategy):
+    """Coordinated Object Allocation and function Lookup (section 5)."""
+
+    name = "coal"
+    header_size = 16  # SharedOA shared-object header
+
+    def __init__(self):
+        super().__init__()
+        self._table = None
+        self._built_version = -1
+
+    def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
+        SharedVTableDispatch.on_construct(self, addr, type_desc)  # same header
+
+    def prepare_launch(self) -> None:
+        """(Re)build the segment tree when the range set changed."""
+        from .range_table import VirtualRangeTable
+
+        allocator = self.machine.allocator
+        version = getattr(allocator, "range_table_version", None)
+        if version is None:
+            raise DispatchError(
+                "COAL requires a SharedOA-style allocator exposing ranges()"
+            )
+        if self._table is None or version != self._built_version:
+            self._table = VirtualRangeTable(
+                self.machine.heap,
+                allocator.ranges(),
+                self.machine.arena.vtable_addr,
+            )
+            self._built_version = version
+
+    @property
+    def range_table(self):
+        return self._table
+
+    def resolve(self, ctx, objptrs, slot, uniform=False):
+        if uniform:
+            # section 5: do not instrument statically-uniform call sites;
+            # the plain vTable access coalesces to one transaction anyway
+            return self._vtable_resolve(ctx, objptrs, slot)
+        if self._table is None:
+            raise DispatchError("COAL dispatch used before prepare_launch()")
+        addrs = strip_tag_array(objptrs)
+        vtables = self._table.lookup_warp(
+            ctx, addrs, role=ROLE_DISPATCH_OVERHEAD
+        )
+        entry_addrs = vtables + np.uint64(8 * slot)
+        return ctx.load(entry_addrs, "u64", role=ROLE_LOAD_VFUNC)
+
+
+class TypePointerDispatch(DispatchStrategy):
+    """TypePointer (section 6): the tag bits *are* the type.
+
+    The Figure 5b sequence: SHR extracts the tag, ADD rebases it onto
+    the contiguous vTable arena, one per-type LDG fetches the vFunc*,
+    and the indirect CALL is unchanged.  Zero memory accesses for
+    operation A.
+
+    ``software_mask=True`` selects the silicon-prototype variant that
+    must AND away the tag bits before every member dereference because
+    the MMU would fault (section 6.3).
+
+    ``index_mode=True`` selects the section-6.1 fallback encoding: the
+    tag is a type *index* instead of a byte offset, multiplied by the
+    (padded) vTable stride with a fused multiply-add.  This reaches 32K
+    types instead of 32KiB of tables, at the cost of padding every
+    vTable to the maximum size.  It requires an index-issuing allocator
+    (see :meth:`VTableArena.index_for_type`).
+    """
+
+    name = "typepointer"
+    header_size = 16  # built over SharedOA's shared-object header
+
+    def __init__(self, software_mask: bool = False, header_size: int = 16,
+                 index_mode: bool = False):
+        super().__init__()
+        self.software_mask = software_mask
+        self.header_size = header_size
+        self.index_mode = index_mode
+        if software_mask:
+            self.name = "typepointer-proto"
+        if index_mode:
+            self.name += "-indexed"
+
+    def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
+        if self.header_size >= 16:
+            SharedVTableDispatch.on_construct(self, addr, type_desc)
+        else:
+            self._write_vtable_header(addr, type_desc)
+
+    def resolve(self, ctx, objptrs, slot, uniform=False):
+        arena = self.machine.arena
+        # Figure 5b line 1: SHR extracts the tag -- pure compute
+        ctx.alu(1, op=Opcode.SHR, role=ROLE_DISPATCH_OVERHEAD)
+        tags = decode_tag_array(objptrs)
+        if (tags == 0).any():
+            bad = int(objptrs[tags == 0][0])
+            raise DispatchError(
+                f"TypePointer dispatch on untagged pointer {bad:#x}; mixing "
+                f"allocators breaks TypePointer (section 6.4 limitation 3)"
+            )
+        if self.index_mode:
+            # fallback encoding: FFMA replaces the ADD (section 6.2);
+            # tags are 1-based type indices into padded tables
+            ctx.alu(1, op=Opcode.FFMA, role=ROLE_DISPATCH_OVERHEAD)
+            stride = np.uint64(arena.padded_table_stride())
+            offsets = tags * stride
+        else:
+            # Figure 5b line 2: ADD rebases the byte offset
+            ctx.alu(1, op=Opcode.IADD, role=ROLE_DISPATCH_OVERHEAD)
+            offsets = tags
+        # Figure 5b line 3: LDG vFunc* at vTablesStartAddr + tag + offset
+        entry_addrs = (
+            np.uint64(arena.base if not self.index_mode
+                      else arena.indexed_base) + offsets + np.uint64(8 * slot)
+        ).astype(np.uint64)
+        return ctx.load(entry_addrs, "u64", role=ROLE_LOAD_VFUNC)

@@ -1,0 +1,124 @@
+"""The compiler's view: call-site analysis and lowering disassembly.
+
+Two jobs the paper assigns to the compiler (section 5/6.2):
+
+1. decide per call site whether to instrument it -- COAL skips sites
+   where "every thread in a warp will be accessing the same object
+   instance" because the lookup overhead would outweigh removing a
+   coalesced load, and
+2. emit the per-technique instruction sequence for ``obj->vfunc()``.
+
+:func:`disassemble` renders those sequences as SASS-like text, both as
+living documentation and so tests can assert the published lowering
+(Figure 5b) literally.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """Static facts the compiler knows about one virtual call site."""
+
+    method: str
+    #: statically provable that all lanes call through the same object
+    uniform: bool = False
+    #: the call's receiver expression, for diagnostics
+    receiver: str = "obj"
+
+
+def should_instrument_coal(site: CallSite) -> bool:
+    """The section-5 heuristic: instrument unless provably uniform.
+
+    "We have observed that removing coalesced loads to the same object
+    does not outweigh COAL's overhead."
+    """
+    return not site.uniform
+
+
+# ----------------------------------------------------------------------
+# lowering disassembly
+# ----------------------------------------------------------------------
+def _cuda_sequence(slot: int) -> List[str]:
+    return [
+        f"LDG   Rvt, [Robj]            ; A: load embedded vTable*",
+        f"LDG   Rfo, [Rvt+{8 * slot:#x}]         ; B: load vFunc entry",
+        f"LDC   Rfn, c0[Rfo]           ; per-kernel translation (sec. 2)",
+        f"CALL  Rfn                    ; C: indirect call",
+    ]
+
+
+def _concord_sequence(slot: int, num_types: int) -> List[str]:
+    levels = max(1, math.ceil(math.log2(num_types)) if num_types > 1 else 1)
+    seq = [f"LDG   Rtag, [Robj]           ; load embedded type tag"]
+    for i in range(levels):
+        seq.append(f"ISETP Rtag, #t{i}             ; switch compare")
+        seq.append(f"BRA   @P, L{i}                ; switch branch")
+    seq.append("BRA   Lbody                  ; direct jump to known body")
+    return seq
+
+
+def _coal_sequence(slot: int, depth: int) -> List[str]:
+    seq = []
+    for level in range(depth):
+        seq.extend([
+            f"LDG.64 Rb, [Rtree+Rnode*32+32] ; children bounds (lvl {level})",
+            "ISETP Raddr, Rb.lo           ; in left range?",
+            "IMAD  Rnode, Rnode, 2, 1     ; next node index",
+            "IADD  Rnode, Rnode, Rsel     ;",
+            "SEL   Rnode, Rnode, Rright   ;",
+            "BRA   Lloop                  ; Algorithm 1 loop",
+        ])
+    seq.extend([
+        "LDG   Rvt, [Rtree+Rnode*32+16] ; leaf payload: vTable*",
+        f"LDG   Rfo, [Rvt+{8 * slot:#x}]         ; B: load vFunc entry",
+        "LDC   Rfn, c0[Rfo]           ; per-kernel translation",
+        "CALL  Rfn                    ; C: indirect call",
+    ])
+    return seq
+
+
+def _typepointer_sequence(slot: int, index_mode: bool = False) -> List[str]:
+    # exactly Figure 5b
+    seq = [f"SHR   Ra, Robj, #49          ; extract 15-bit tag"]
+    if index_mode:
+        seq.append("FFMA  Ra, Ra, Rstride, RvTablesStartAddr ; index * stride")
+    else:
+        seq.append("ADD   Ra, Ra, RvTablesStartAddr ; rebase onto arena")
+    seq.extend([
+        f"LDG   Rfo, [Ra+{8 * slot:#x}]          ; B: load vFunc entry",
+        "LDC   Rfn, c0[Rfo]           ; per-kernel translation",
+        "CALL  Rfn                    ; C: indirect call",
+    ])
+    return seq
+
+
+def disassemble(technique: str, slot: int = 0, num_types: int = 4,
+                tree_depth: int = 2, index_mode: bool = False,
+                site: CallSite = None) -> List[str]:
+    """SASS-like lowering of a virtual call under ``technique``.
+
+    ``site`` lets COAL apply its heuristic: a uniform site lowers to
+    the plain CUDA sequence.
+    """
+    if technique in ("cuda", "sharedoa", "tp_on_cuda_baseline"):
+        return _cuda_sequence(slot)
+    if technique == "concord":
+        return _concord_sequence(slot, num_types)
+    if technique == "coal":
+        if site is not None and not should_instrument_coal(site):
+            return _cuda_sequence(slot)
+        return _coal_sequence(slot, tree_depth)
+    if technique in ("typepointer", "typepointer_proto", "tp_on_cuda"):
+        return _typepointer_sequence(slot, index_mode=False)
+    if technique == "typepointer_indexed":
+        return _typepointer_sequence(slot, index_mode=True)
+    raise ValueError(f"unknown technique {technique!r}")
+
+
+def mnemonics(sequence: List[str]) -> List[str]:
+    """Just the opcodes of a disassembled sequence."""
+    return [line.split()[0].split(".")[0] for line in sequence]

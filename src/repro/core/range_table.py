@@ -1,0 +1,192 @@
+"""COAL's virtual range table and its segment-tree lookup (Algorithm 1).
+
+The SharedOA allocator dedicates contiguous address ranges to each
+type.  COAL augments the virtual function tables with these (base,
+range) pairs -- the *virtual range table* (Figure 3) -- and organises
+them into a balanced segment tree so the compiler-inserted lookup runs
+in O(log2 K) for K ranges (Algorithm 1).
+
+The tree is materialised **in simulated device memory**: each lookup
+step issues real loads against the heap, which is exactly why COAL's
+extra loads all hit in L1 (every thread walks the same small structure,
+Figure 9).  Node layout (32 bytes, implicit children at 2i+1 / 2i+2):
+
+    +0   min   u64   lowest address covered by this subtree
+    +8   max   u64   one past the highest address covered
+    +16  payload u64 leaf: vTable address; internal: 0
+    +24  pad   u64
+
+Empty padding leaves use (min=EMPTY_MIN > any address, max=0) so they
+never match.
+"""
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DispatchError
+from ..memory.address_space import ADDR_MASK
+from ..memory.heap import Heap
+
+NODE_BYTES = 32
+#: sentinel bounds for padding leaves: matches no address
+EMPTY_MIN = ADDR_MASK + 1
+EMPTY_MAX = 0
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+class VirtualRangeTable:
+    """Range table + segment tree over one allocator snapshot."""
+
+    def __init__(
+        self,
+        heap: Heap,
+        ranges: List[Tuple[int, int, Hashable]],
+        vtable_addr_for: Callable[[Hashable], int],
+    ):
+        """``ranges`` are (base, end, type_key) with end exclusive."""
+        self.heap = heap
+        self.entries = sorted(ranges)
+        for (b1, e1, _), (b2, _, _) in zip(self.entries, self.entries[1:]):
+            if b2 < e1:
+                raise ValueError(
+                    f"overlapping ranges [{b1:#x},{e1:#x}) and starting {b2:#x}"
+                )
+        self.num_ranges = len(self.entries)
+        self.num_leaves = _next_pow2(max(self.num_ranges, 1))
+        self.tree_size = 2 * self.num_leaves - 1
+        #: levels of internal-node descent before reaching a leaf
+        self.depth = self.num_leaves.bit_length() - 1
+
+        self._payloads = [vtable_addr_for(t) for _, _, t in self.entries]
+        self.tree_base = heap.sbrk(self.tree_size * NODE_BYTES, 256)
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _node_addr(self, i: int) -> int:
+        return self.tree_base + i * NODE_BYTES
+
+    def _write_node(self, i: int, lo: int, hi: int, payload: int) -> None:
+        addr = self._node_addr(i)
+        self.heap.store(addr, "u64", lo)
+        self.heap.store(addr + 8, "u64", hi)
+        self.heap.store(addr + 16, "u64", payload)
+
+    def _read_node(self, i: int) -> Tuple[int, int, int]:
+        addr = self._node_addr(i)
+        return (
+            int(self.heap.load(addr, "u64")),
+            int(self.heap.load(addr + 8, "u64")),
+            int(self.heap.load(addr + 16, "u64")),
+        )
+
+    def _build(self) -> None:
+        first_leaf = self.num_leaves - 1
+        for j in range(self.num_leaves):
+            if j < self.num_ranges:
+                base, end, _ = self.entries[j]
+                self._write_node(first_leaf + j, base, end, self._payloads[j])
+            else:
+                self._write_node(first_leaf + j, EMPTY_MIN, EMPTY_MAX, 0)
+        for i in range(first_leaf - 1, -1, -1):
+            llo, lhi, _ = self._read_node(2 * i + 1)
+            rlo, rhi, _ = self._read_node(2 * i + 2)
+            lo = min(llo, rlo)
+            hi = max(lhi, rhi)
+            self._write_node(i, lo, hi, 0)
+
+    # ------------------------------------------------------------------
+    # reference lookups (host-side, uncharged; used for validation)
+    # ------------------------------------------------------------------
+    def linear_lookup(self, addr: int) -> Optional[int]:
+        """Reference linear scan: vTable address for ``addr`` or None."""
+        for (base, end, _), payload in zip(self.entries, self._payloads):
+            if base <= addr < end:
+                return payload
+        return None
+
+    def scalar_lookup(self, addr: int) -> Optional[int]:
+        """Scalar Algorithm 1 walk over the in-heap tree."""
+        node = 0
+        while True:
+            left = 2 * node + 1
+            if left >= self.tree_size:
+                lo, hi, payload = self._read_node(node)
+                return payload if lo <= addr < hi else None
+            llo, lhi, _ = self._read_node(left)
+            if llo <= addr < lhi:
+                node = left
+                continue
+            rlo, rhi, _ = self._read_node(left + 1)
+            if rlo <= addr < rhi:
+                node = left + 1
+                continue
+            return None
+
+    # ------------------------------------------------------------------
+    # warp-wide charged lookup (used by the COAL dispatch lowering)
+    # ------------------------------------------------------------------
+    def lookup_warp(self, ctx, addrs: np.ndarray, role: str) -> np.ndarray:
+        """Algorithm 1 for a whole warp; returns per-lane vTable addresses.
+
+        ``ctx`` is the execution context the dispatch strategy runs
+        under: each tree level charges one coalesced LDG over both
+        children's bounds (64 contiguous bytes), two SETP compares and
+        one BRA, exactly the loop body of Algorithm 1.  Raises
+        :class:`DispatchError` when any lane's address is in no range
+        (the algorithm's NULL return).
+        """
+        from ..gpu.isa import Opcode  # local import avoids a cycle
+
+        n = len(addrs)
+        a = addrs.astype(np.uint64, copy=False)
+        node = np.zeros(n, dtype=np.int64)
+        dead = np.zeros(n, dtype=bool)
+
+        for _ in range(self.depth):
+            left = 2 * node + 1
+            child_addrs = (self.tree_base + left * NODE_BYTES).astype(np.uint64)
+            # one 64B load covers (left.min, left.max, right.min, right.max)
+            ctx.charged_load(child_addrs, width=64, role=role)
+            llo = ctx.peek(child_addrs, "u64")
+            lhi = ctx.peek(child_addrs + np.uint64(8), "u64")
+            rlo = ctx.peek(child_addrs + np.uint64(NODE_BYTES), "u64")
+            rhi = ctx.peek(child_addrs + np.uint64(NODE_BYTES + 8), "u64")
+            # per-level SASS: node-index arithmetic (IMAD), two range
+            # compares, a select and the loop branch (Algorithm 1 body)
+            ctx.alu(2, op=Opcode.SETP, role=role)
+            ctx.alu(2, op=Opcode.IADD, role=role)
+            ctx.alu(1, op=Opcode.SEL, role=role)
+            ctx.ctrl(1, role=role)
+            in_left = (llo <= a) & (a < lhi)
+            in_right = (rlo <= a) & (a < rhi) & ~in_left
+            node = np.where(in_left, left, np.where(in_right, left + 1, node))
+            dead |= ~(in_left | in_right)
+
+        # read the leaf payload (the vTable pointer for the matched range)
+        leaf_addrs = (self.tree_base + node * NODE_BYTES).astype(np.uint64)
+        if self.depth == 0:
+            # single-node tree: the loop never ran, so bounds-check here
+            ctx.charged_load(leaf_addrs, width=32, role=role)
+            lo = ctx.peek(leaf_addrs, "u64")
+            hi = ctx.peek(leaf_addrs + np.uint64(8), "u64")
+            ctx.alu(1, op=Opcode.SETP, role=role)
+            dead |= ~((lo <= a) & (a < hi))
+        payload_addrs = leaf_addrs + np.uint64(16)
+        ctx.charged_load(payload_addrs, width=8, role=role)
+        payloads = ctx.peek(payload_addrs, "u64")
+
+        if dead.any():
+            bad = int(a[dead][0])
+            raise DispatchError(
+                f"COAL range lookup found no range for address {bad:#x} "
+                f"(object not allocated by SharedOA?)"
+            )
+        return payloads

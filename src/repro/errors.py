@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch simulator-level failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-subsystem errors."""
+
+
+class OutOfMemory(MemoryError_):
+    """The simulated heap cannot satisfy an allocation request."""
+
+
+class InvalidAddress(MemoryError_):
+    """An access touched an address outside any live allocation/page."""
+
+
+class MMUFault(MemoryError_):
+    """The MMU rejected a virtual address.
+
+    Raised when the upper (unused) bits of a 64-bit pointer are non-zero
+    and TypePointer support is disabled -- mirroring the exception a real
+    GPU MMU would raise for a non-canonical address (paper section 6.3).
+    """
+
+
+class DoubleFree(MemoryError_):
+    """An address was freed twice, or freed without being allocated."""
+
+
+class AllocatorError(MemoryError_):
+    """Misuse of an allocator (bad size, unknown type, exhausted arena)."""
+
+
+class TypeSystemError(ReproError):
+    """Invalid type declaration: duplicate fields, bad override, etc."""
+
+
+class DispatchError(ReproError):
+    """A virtual call could not be resolved (unknown type, bad slot)."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch was misconfigured."""
+
+
+class TypeTagOverflow(ReproError):
+    """A vTable offset does not fit in TypePointer's 15 tag bits."""

@@ -1,0 +1,38 @@
+"""GPU simulator: SIMT executor, coalescer, caches, timing."""
+
+from .cache import MemoryHierarchy, SectoredCache
+from .coalescing import SECTOR_BYTES, Transaction, coalesce, count_sectors
+from .config import CacheGeometry, GPUConfig, small_config
+from .dram import DRAMModel
+from .executor import WARP_SIZE, ExecutionContext, launch
+from .isa import InstrClass, Opcode, TraceRecord
+from .machine import FIGURE6_TECHNIQUES, TECHNIQUES, Machine
+from .stats import KernelStats
+from .timing import bottleneck, compute_cycles, finalize_timing, memory_cycles
+
+__all__ = [
+    "MemoryHierarchy",
+    "SectoredCache",
+    "SECTOR_BYTES",
+    "Transaction",
+    "coalesce",
+    "count_sectors",
+    "CacheGeometry",
+    "GPUConfig",
+    "small_config",
+    "DRAMModel",
+    "WARP_SIZE",
+    "ExecutionContext",
+    "launch",
+    "InstrClass",
+    "Opcode",
+    "TraceRecord",
+    "FIGURE6_TECHNIQUES",
+    "TECHNIQUES",
+    "Machine",
+    "KernelStats",
+    "bottleneck",
+    "compute_cycles",
+    "finalize_timing",
+    "memory_cycles",
+]

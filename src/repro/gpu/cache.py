@@ -1,0 +1,177 @@
+"""Sectored, set-associative cache model (L1 per SM, shared L2).
+
+Volta-style behaviour at the fidelity the paper's counters need:
+
+* 128B lines split into four 32B sectors; a line hit with an absent
+  sector is still a miss for that sector (sector fill),
+* LRU replacement within a set,
+* loads allocate; stores write through without allocating in L1
+  (Volta L1 is write-through) but allocate in L2.
+
+The model is functional only -- it classifies each sector access as
+hit or miss; the timing model converts level counts into cycles.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .config import CacheGeometry
+
+
+@dataclass
+class _Line:
+    sector_mask: int
+    lru: int
+
+
+class SectoredCache:
+    """One cache level."""
+
+    def __init__(self, geometry: CacheGeometry, name: str = "cache"):
+        self.geometry = geometry
+        self.name = name
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(geometry.num_sets)]
+        self._clock = 0
+        self.accesses = 0          # sector accesses
+        self.hits = 0              # sector hits
+
+    # ------------------------------------------------------------------
+    def _locate(self, line_addr: int) -> Tuple[Dict[int, _Line], int]:
+        line_no = line_addr // self.geometry.line_bytes
+        set_idx = line_no % self.geometry.num_sets
+        tag = line_no // self.geometry.num_sets
+        return self._sets[set_idx], tag
+
+    def access(self, line_addr: int, sector_mask: int, allocate: bool = True) -> int:
+        """Access the sectors of one line; returns a bitmask of MISSED sectors.
+
+        ``allocate=False`` models a write-through store that should not
+        install the line on a miss.
+        """
+        self._clock += 1
+        cache_set, tag = self._locate(line_addr)
+        requested = sector_mask
+        n_requested = bin(requested).count("1")
+        self.accesses += n_requested
+
+        line = cache_set.get(tag)
+        if line is not None:
+            line.lru = self._clock
+            hit_mask = line.sector_mask & requested
+            miss_mask = requested & ~line.sector_mask
+            self.hits += bin(hit_mask).count("1")
+            if allocate:
+                line.sector_mask |= requested
+            return miss_mask
+
+        # full line miss
+        if allocate:
+            if len(cache_set) >= self.geometry.assoc:
+                victim = min(cache_set, key=lambda t: cache_set[t].lru)
+                del cache_set[victim]
+            cache_set[tag] = _Line(sector_mask=requested, lru=self._clock)
+        return requested
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Flush all contents (between kernels, if desired)."""
+        for s in self._sets:
+            s.clear()
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class MemoryHierarchy:
+    """Per-SM L1s in front of one shared L2, in front of DRAM.
+
+    ``sm_of(warp_id)`` decides which L1 a warp's accesses go to; the
+    executor assigns warps to SMs round-robin, matching how a real grid
+    distributes thread blocks.
+    """
+
+    def __init__(self, config, num_sms: int = None):
+        self.config = config
+        self.num_sms = num_sms if num_sms is not None else config.num_sms
+        self.l1s = [
+            SectoredCache(config.l1, name=f"L1[{i}]") for i in range(self.num_sms)
+        ]
+        self.l2 = SectoredCache(config.l2, name="L2")
+        self.dram_accesses = 0     # sectors served by DRAM
+        # DRAM row-buffer state: per-bank open row
+        self._row_bytes = config.dram_row_bytes
+        self._num_banks = config.dram_num_banks
+        self._open_rows: Dict[int, int] = {}
+        self.dram_row_hits = 0
+        self.dram_row_misses = 0
+
+    def _dram_access(self, line_addr: int, sectors: int) -> None:
+        """Track row-buffer locality for sectors that reach DRAM."""
+        self.dram_accesses += sectors
+        row = line_addr // self._row_bytes
+        bank = row % self._num_banks
+        if self._open_rows.get(bank) == row:
+            self.dram_row_hits += 1
+        else:
+            self._open_rows[bank] = row
+            self.dram_row_misses += 1
+
+    # ------------------------------------------------------------------
+    def load(self, sm: int, line_addr: int, sector_mask: int) -> Tuple[int, int, int]:
+        """Service a load transaction; returns (l1_hits, l2_hits, dram) sectors."""
+        l1 = self.l1s[sm % self.num_sms]
+        n_req = bin(sector_mask).count("1")
+        l1_miss_mask = l1.access(line_addr, sector_mask, allocate=True)
+        n_l1_miss = bin(l1_miss_mask).count("1")
+        l1_hits = n_req - n_l1_miss
+        if not l1_miss_mask:
+            return l1_hits, 0, 0
+        l2_miss_mask = self.l2.access(line_addr, l1_miss_mask, allocate=True)
+        n_l2_miss = bin(l2_miss_mask).count("1")
+        l2_hits = n_l1_miss - n_l2_miss
+        if n_l2_miss:
+            self._dram_access(line_addr, n_l2_miss)
+        return l1_hits, l2_hits, n_l2_miss
+
+    def store(self, sm: int, line_addr: int, sector_mask: int) -> None:
+        """Service a store: write-through L1 (update if present), allocate L2."""
+        l1 = self.l1s[sm % self.num_sms]
+        cache_set, tag = l1._locate(line_addr)
+        line = cache_set.get(tag)
+        if line is not None:
+            line.sector_mask |= sector_mask  # update-in-place on store hit
+        l2_miss_mask = self.l2.access(line_addr, sector_mask, allocate=True)
+        # write-allocate in L2; misses still cost DRAM fill traffic
+        n_miss = bin(l2_miss_mask).count("1")
+        if n_miss:
+            self._dram_access(line_addr, n_miss)
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        for l1 in self.l1s:
+            l1.invalidate()
+        self.l2.invalidate()
+
+    def l1_totals(self) -> Tuple[int, int]:
+        """(accesses, hits) summed over all per-SM L1s."""
+        return (
+            sum(c.accesses for c in self.l1s),
+            sum(c.hits for c in self.l1s),
+        )
+
+    def reset_stats(self) -> None:
+        for l1 in self.l1s:
+            l1.reset_stats()
+        self.l2.reset_stats()
+        self.dram_accesses = 0
+        self.dram_row_hits = 0
+        self.dram_row_misses = 0

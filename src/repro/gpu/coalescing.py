@@ -1,0 +1,100 @@
+"""The memory-access coalescer.
+
+When a warp executes a global load/store, the coalescer merges the 32
+per-lane addresses into the minimal set of 32-byte sector transactions
+(Volta counts sectors, and NVProf's ``gld_transactions`` counts what we
+count here).  A fully converged access (all lanes read the same word)
+costs 1 transaction; a fully diverged one (each lane a different
+sector) costs up to 32 -- the entire difference between the vTable
+pointer load A and the vTable access B in Figure 1.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+SECTOR_BYTES = 32
+LINE_BYTES = 128
+SECTORS_PER_LINE = LINE_BYTES // SECTOR_BYTES
+
+_U64_SECTOR = np.uint64(SECTOR_BYTES)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One line-granular memory transaction with its sector mask."""
+
+    line_addr: int           # byte address of the 128B line
+    sector_mask: int         # bitmask over the line's 4 sectors
+
+    @property
+    def num_sectors(self) -> int:
+        return bin(self.sector_mask).count("1")
+
+
+def coalesce(addrs: np.ndarray, width: int) -> List[Transaction]:
+    """Coalesce per-lane accesses of ``width`` bytes into transactions.
+
+    ``addrs`` holds the active lanes' byte addresses (already MMU
+    translated / canonical).  Accesses that straddle a sector boundary
+    touch both sectors, as on hardware.
+    """
+    if addrs.size == 0:
+        return []
+    a = addrs.astype(np.uint64, copy=False)
+    first_sector = a // _U64_SECTOR
+    last_sector = (a + np.uint64(max(width - 1, 0))) // _U64_SECTOR
+    if (first_sector == last_sector).all():
+        sectors = np.unique(first_sector)
+    else:
+        sectors = np.unique(np.concatenate([first_sector, last_sector]))
+
+    lines = sectors // np.uint64(SECTORS_PER_LINE)
+    sector_in_line = (sectors % np.uint64(SECTORS_PER_LINE)).astype(np.int64)
+
+    transactions: List[Transaction] = []
+    current_line = None
+    mask = 0
+    for line, sec in zip(lines, sector_in_line):
+        line = int(line)
+        if line != current_line:
+            if current_line is not None:
+                transactions.append(
+                    Transaction(line_addr=current_line * LINE_BYTES, sector_mask=mask)
+                )
+            current_line = line
+            mask = 0
+        mask |= 1 << int(sec)
+    if current_line is not None:
+        transactions.append(
+            Transaction(line_addr=current_line * LINE_BYTES, sector_mask=mask)
+        )
+    return transactions
+
+
+def count_sectors(addrs: np.ndarray, width: int) -> int:
+    """Number of sector transactions the access generates (fast path)."""
+    if addrs.size == 0:
+        return 0
+    a = addrs.astype(np.uint64, copy=False)
+    first_sector = a // _U64_SECTOR
+    last_sector = (a + np.uint64(max(width - 1, 0))) // _U64_SECTOR
+    if (first_sector == last_sector).all():
+        return len(np.unique(first_sector))
+    return len(np.unique(np.concatenate([first_sector, last_sector])))
+
+
+def sector_addresses(addrs: np.ndarray, width: int) -> np.ndarray:
+    """Unique sector byte-addresses touched by the access, sorted."""
+    if addrs.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    a = addrs.astype(np.uint64, copy=False)
+    first_sector = a // _U64_SECTOR
+    last_sector = (a + np.uint64(max(width - 1, 0))) // _U64_SECTOR
+    if (first_sector == last_sector).all():
+        sectors = np.unique(first_sector)
+    else:
+        sectors = np.unique(np.concatenate([first_sector, last_sector]))
+    return sectors * _U64_SECTOR

@@ -1,0 +1,34 @@
+"""DRAM (HBM2) accounting.
+
+The cache hierarchy already counts the sectors that reach DRAM; this
+module adds byte accounting and a simple efficiency report so ablation
+benches can show how much of the paper's win is DRAM traffic.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coalescing import SECTOR_BYTES
+
+
+@dataclass
+class DRAMModel:
+    """Aggregates DRAM traffic for one run."""
+
+    sectors: int = 0
+
+    def add_sectors(self, n: int) -> None:
+        self.sectors += n
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.sectors * SECTOR_BYTES
+
+    def utilisation(self, cycles: float, sectors_per_cycle: float) -> float:
+        """Fraction of peak DRAM bandwidth consumed over ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        return min(1.0, self.sectors / (cycles * sectors_per_cycle))
+
+    def reset(self) -> None:
+        self.sectors = 0

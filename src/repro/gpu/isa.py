@@ -1,0 +1,85 @@
+"""Instruction classes of the simulated SASS-like ISA.
+
+The executor does not interpret encoded instructions; workload kernels
+are Python functions that *emit* instruction events through the
+execution context.  This module defines the vocabulary: opcodes, their
+class (MEM / COMPUTE / CTRL, the three buckets of Figure 7), and an
+optional trace record used by tests and the Figure 1b breakdown.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class InstrClass(enum.Enum):
+    """The three instruction buckets the paper plots in Figure 7."""
+
+    MEM = "MEM"
+    COMPUTE = "COMPUTE"
+    CTRL = "CTRL"
+
+
+class Opcode(enum.Enum):
+    """Opcodes the dispatch lowerings and workloads emit."""
+
+    # memory
+    LDG = ("LDG", InstrClass.MEM)       # global load
+    STG = ("STG", InstrClass.MEM)       # global store
+    # compute
+    IADD = ("IADD", InstrClass.COMPUTE)
+    IMUL = ("IMUL", InstrClass.COMPUTE)
+    FADD = ("FADD", InstrClass.COMPUTE)
+    FMUL = ("FMUL", InstrClass.COMPUTE)
+    FFMA = ("FFMA", InstrClass.COMPUTE)
+    SHR = ("SHR", InstrClass.COMPUTE)   # TypePointer tag extract (Fig 5b)
+    SHL = ("SHL", InstrClass.COMPUTE)
+    AND = ("AND", InstrClass.COMPUTE)   # TypePointer prototype masking
+    SETP = ("SETP", InstrClass.COMPUTE)  # predicate set (compares)
+    SEL = ("SEL", InstrClass.COMPUTE)
+    MOV = ("MOV", InstrClass.COMPUTE)
+    # control
+    BRA = ("BRA", InstrClass.CTRL)      # direct branch
+    CALL = ("CALL", InstrClass.CTRL)    # indirect call (op C in Fig 1a)
+    RET = ("RET", InstrClass.CTRL)
+    SSY = ("SSY", InstrClass.CTRL)      # reconvergence push
+
+    def __init__(self, mnemonic: str, klass: InstrClass):
+        self.mnemonic = mnemonic
+        self.klass = klass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed warp instruction, recorded when tracing is enabled.
+
+    ``role`` labels dispatch-related instructions so the Figure 1b
+    latency attribution can bucket them:
+
+    * ``"load_vtable_ptr"``  -- operation A of Figure 1a
+    * ``"load_vfunc_ptr"``   -- operation B
+    * ``"indirect_call"``    -- operation C
+    * ``"dispatch_overhead"``-- COAL tree walk / Concord switch /
+      TypePointer shift-add
+    * ``None``               -- ordinary workload instruction
+    """
+
+    opcode: Opcode
+    warp_id: int
+    active_lanes: int
+    role: Optional[str] = None
+    transactions: int = 0
+    addresses: Optional[Tuple[int, ...]] = None
+
+    @property
+    def klass(self) -> InstrClass:
+        return self.opcode.klass
+
+
+#: Dispatch roles used by TraceRecord.role and the Fig 1b breakdown.
+ROLE_LOAD_VTABLE = "load_vtable_ptr"
+ROLE_CONST_INDIRECTION = "const_indirection"
+ROLE_LOAD_VFUNC = "load_vfunc_ptr"
+ROLE_INDIRECT_CALL = "indirect_call"
+ROLE_DISPATCH_OVERHEAD = "dispatch_overhead"

@@ -1,0 +1,247 @@
+"""The Machine: one GPU + runtime configured for one technique.
+
+A machine bundles everything one evaluated configuration needs --
+heap, MMU (in the right mode), allocator, cache hierarchy, type
+registry, vTable arena and dispatch strategy -- under a technique
+name from the paper's evaluation (section 8):
+
+==================  =========================================================
+``cuda``            default CUDA allocator + embedded-vTable dispatch
+``concord``         default CUDA allocator + type-tag/switch dispatch
+``sharedoa``        SharedOA allocator + embedded-vTable dispatch
+``coal``            SharedOA allocator + COAL range-lookup dispatch
+``typepointer``     SharedOA allocator + tag-bit dispatch, modified MMU
+``typepointer_proto``  as above but the software prototype: stock MMU,
+                    compiler-inserted masking at member accesses (6.3)
+``tp_on_cuda``      default CUDA allocator + tag-bit dispatch (Figure 11)
+==================  =========================================================
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.dispatch import (
+    COALDispatch,
+    ConcordDispatch,
+    DispatchStrategy,
+    SharedVTableDispatch,
+    TypePointerDispatch,
+    VTableDispatch,
+)
+from ..errors import LaunchError
+from ..memory.cuda_allocator import CudaHeapAllocator
+from ..memory.heap import Heap
+from ..memory.mmu import MMU, MMUMode
+from ..memory.shared_oa import SharedOAAllocator
+from ..memory.typepointer_alloc import TypePointerAllocator
+from ..runtime.objects import DeviceArray
+from ..runtime.typesystem import TypeDescriptor, TypeRegistry
+from ..runtime.vtable import VTableArena
+from .cache import MemoryHierarchy
+from .config import GPUConfig
+from .constmem import ConstantMemory
+from .tlb import TLBHierarchy
+from .executor import launch as _launch
+from .stats import KernelStats
+
+#: Technique names accepted by :class:`Machine`, in the paper's order.
+TECHNIQUES = (
+    "cuda",
+    "concord",
+    "sharedoa",
+    "coal",
+    "typepointer",
+    "typepointer_proto",
+    "typepointer_indexed",
+    "tp_on_cuda",
+)
+
+#: The five configurations of Figure 6, in plotting order.
+FIGURE6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
+
+
+class Machine:
+    """A simulated GPU configured for one of the paper's techniques."""
+
+    def __init__(
+        self,
+        technique: str = "cuda",
+        config: Optional[GPUConfig] = None,
+        initial_chunk_objects: int = 4096,
+        heap_capacity: int = 1 << 22,
+        merge_adjacent: bool = True,
+    ):
+        if technique not in TECHNIQUES:
+            raise LaunchError(
+                f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+            )
+        self.technique = technique
+        self.config = config or GPUConfig()
+        self.heap = Heap(capacity=heap_capacity)
+        self.arena = VTableArena(self.heap)
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.constmem = ConstantMemory(self.config.num_sms)
+        self.tlb = (
+            TLBHierarchy(self.config.num_sms, self.config.tlb_l1_entries,
+                         self.config.tlb_l2_entries)
+            if self.config.model_tlb else None
+        )
+
+        self.strategy = self._make_strategy(technique)
+        self.registry = TypeRegistry(header_size=self.strategy.header_size)
+        self.allocator = self._make_allocator(
+            technique, initial_chunk_objects, merge_adjacent
+        )
+        self.mmu = MMU(self.heap, mode=self._mmu_mode(technique))
+        self.strategy.bind(self)
+
+        #: accumulated counters across every launch of this machine
+        self.run_stats = KernelStats()
+        self.launches = 0
+        #: (label, KernelStats) per launch, newest last (bounded)
+        self.launch_history: List[tuple] = []
+        self.max_history = 256
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_strategy(technique: str) -> DispatchStrategy:
+        if technique == "cuda":
+            return VTableDispatch()
+        if technique == "concord":
+            return ConcordDispatch()
+        if technique == "sharedoa":
+            return SharedVTableDispatch()
+        if technique == "coal":
+            return COALDispatch()
+        if technique == "typepointer":
+            return TypePointerDispatch(software_mask=False)
+        if technique == "typepointer_proto":
+            return TypePointerDispatch(software_mask=True)
+        if technique == "typepointer_indexed":
+            # the section-6.1 fallback: index tags + padded tables
+            return TypePointerDispatch(index_mode=True)
+        if technique == "tp_on_cuda":
+            return TypePointerDispatch(software_mask=False, header_size=8)
+        raise LaunchError(f"unknown technique {technique!r}")
+
+    def _make_allocator(self, technique, initial_chunk_objects, merge_adjacent):
+        if technique in ("cuda", "concord"):
+            return CudaHeapAllocator(self.heap)
+        if technique in ("sharedoa", "coal"):
+            return SharedOAAllocator(
+                self.heap,
+                initial_chunk_objects=initial_chunk_objects,
+                merge_adjacent=merge_adjacent,
+            )
+        if technique in ("typepointer", "typepointer_proto",
+                         "typepointer_indexed"):
+            inner = SharedOAAllocator(
+                self.heap,
+                initial_chunk_objects=initial_chunk_objects,
+                merge_adjacent=merge_adjacent,
+            )
+            tagger = (
+                self.arena.index_for_type
+                if technique == "typepointer_indexed"
+                else self.arena.tag_for_type
+            )
+            return TypePointerAllocator(inner, tagger)
+        if technique == "tp_on_cuda":
+            return TypePointerAllocator(
+                CudaHeapAllocator(self.heap), self.arena.tag_for_type
+            )
+        raise LaunchError(f"unknown technique {technique!r}")
+
+    @staticmethod
+    def _mmu_mode(technique: str) -> MMUMode:
+        if technique in ("typepointer", "typepointer_indexed", "tp_on_cuda"):
+            return MMUMode.TYPEPOINTER
+        if technique == "typepointer_proto":
+            return MMUMode.PROTOTYPE
+        return MMUMode.BASELINE
+
+    # ------------------------------------------------------------------
+    # object and array management
+    # ------------------------------------------------------------------
+    def register(self, *types: TypeDescriptor) -> None:
+        """Register types (ensuring their vTables exist in the arena)."""
+        for t in types:
+            self.registry.register(t)
+            for member in t.mro():
+                self.arena.ensure_type(member)
+
+    def new_objects(self, type_desc: TypeDescriptor, count: int) -> np.ndarray:
+        """Allocate and construct ``count`` objects; returns their pointers.
+
+        Pointers are tagged under TypePointer techniques.  Construction
+        (header writes) is host-side, matching the paper's methodology
+        of excluding object initialisation from kernel measurements.
+        """
+        self.register(type_desc)
+        layout = self.registry.layout(type_desc)
+        alloc = self.allocator.alloc_object
+        construct = self.strategy.on_construct
+        canonical = self.allocator._canonical
+        ptrs = np.empty(count, dtype=np.uint64)
+        for i in range(count):
+            ptr = alloc(type_desc, layout.size)
+            construct(canonical(ptr), type_desc)
+            ptrs[i] = ptr
+        return ptrs
+
+    def free_objects(self, ptrs: Iterable[int]) -> None:
+        for p in ptrs:
+            self.allocator.free_object(int(p))
+
+    def array(self, dtype: str, count: int) -> DeviceArray:
+        return DeviceArray(self, dtype, count)
+
+    def array_from(self, values, dtype: str) -> DeviceArray:
+        vals = np.asarray(values)
+        arr = DeviceArray(self, dtype, int(vals.size))
+        arr.write(vals)
+        return arr
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def launch(self, kernel, num_threads: int,
+               label: str = None) -> KernelStats:
+        """Run one kernel; returns its stats and accumulates run totals.
+
+        ``label`` names the launch in the per-kernel profile (defaults
+        to the kernel callable's __name__, like nvprof's kernel list).
+        """
+        stats = _launch(self, kernel, num_threads)
+        self.run_stats.merge(stats)
+        self.launches += 1
+        name = label or getattr(kernel, "__name__", "kernel")
+        if len(self.launch_history) < self.max_history:
+            self.launch_history.append((name, stats))
+        return stats
+
+    def reset_run(self) -> None:
+        """Clear accumulated run statistics (not memory contents)."""
+        self.run_stats = KernelStats()
+        self.launches = 0
+        self.launch_history = []
+        self.hierarchy.reset_stats()
+        self.constmem.reset_stats()
+        if self.tlb is not None:
+            self.tlb.reset_stats()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_types(self) -> int:
+        return len(self.registry)
+
+    def describe(self) -> str:
+        return (
+            f"Machine(technique={self.technique}, allocator={self.allocator.name}, "
+            f"strategy={self.strategy.name}, mmu={self.mmu.mode.value}, "
+            f"gpu={self.config.name})"
+        )

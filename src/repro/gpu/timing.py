@@ -1,0 +1,80 @@
+"""Roofline timing model: counters -> cycles.
+
+GPUs hide latency with massive multithreading (the paper's key
+contrast with CPUs, section 1), so kernel time is governed by the
+busier of two throughput limits:
+
+* instruction issue: total dynamic warp instructions over the chip's
+  issue width, and
+* the memory system: sector counts at each level over that level's
+  sector bandwidth.  Levels are charged independently and summed --
+  a miss consumes bandwidth at every level it traverses.
+
+``kernel_cycles = max(compute, memory) + launch overhead + a small
+latency term`` so that empty launches are not free.  The model is
+deliberately simple; DESIGN.md section 5 records it as part of the
+substitution for silicon measurement.
+"""
+from __future__ import annotations
+
+from .config import GPUConfig
+from .stats import KernelStats
+
+
+def compute_cycles(stats: KernelStats, config: GPUConfig) -> float:
+    """Issue-limited time: one warp instruction per scheduler per cycle."""
+    return stats.total_warp_instrs / config.issue_width
+
+
+def memory_cycles(stats: KernelStats, config: GPUConfig) -> float:
+    """Memory-throughput-limited time across the three levels.
+
+    DRAM sectors that miss the open row pay an activate/precharge
+    penalty (expressed in sector-service equivalents), which is how
+    contiguous, tightly-packed layouts win over scattered ones.
+    """
+    l1_time = stats.l1_accesses / config.l1_sectors_per_cycle
+    l2_time = stats.l2_accesses / config.l2_sectors_per_cycle
+    dram_equiv = (
+        stats.dram_accesses
+        + stats.dram_row_misses * config.dram_row_miss_penalty_sectors
+    )
+    dram_time = dram_equiv / config.dram_sectors_per_cycle
+    # constant-cache misses fetch through the L2 path; hits are free
+    # beyond their issue slot (the table "fits in the dedicated constant
+    # memory cache", section 2)
+    const_time = (
+        (stats.const_accesses - stats.const_hits)
+        / config.l2_sectors_per_cycle
+    )
+    # page-table walks serialise behind the walkers (when modelled)
+    tlb_time = (
+        stats.tlb_walks * config.tlb_walk_cycles / config.num_sms
+        if config.model_tlb else 0.0
+    )
+    # store traffic traverses L2/DRAM too and is already included in the
+    # l2/dram counters by the hierarchy model.
+    return l1_time + l2_time + dram_time + const_time + tlb_time
+
+
+def finalize_timing(stats: KernelStats, config: GPUConfig) -> KernelStats:
+    """Fill ``stats.cycles`` (and the component fields) in place.
+
+    Issue and memory time overlap imperfectly on real SMs (every
+    instruction still occupies a scheduler slot, and poor SIMD
+    utilisation at high type divergence costs real time even in
+    memory-bound kernels -- paper section 8.3), so the components add.
+    """
+    c = compute_cycles(stats, config)
+    m = memory_cycles(stats, config)
+    stats.compute_cycles = c
+    stats.memory_cycles = m
+    stats.cycles = (
+        c + m + config.kernel_launch_cycles + config.base_memory_latency_cycles
+    )
+    return stats
+
+
+def bottleneck(stats: KernelStats) -> str:
+    """'memory' or 'compute', whichever bound the kernel."""
+    return "memory" if stats.memory_cycles >= stats.compute_cycles else "compute"

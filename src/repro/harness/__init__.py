@@ -1,0 +1,84 @@
+"""Experiment harness: one generator per paper table/figure."""
+
+from .allocator_study import (
+    DEFAULT_CHUNK_SIZES,
+    InitComparison,
+    fig10_chunk_sweep,
+    init_performance,
+)
+from .export import export_figure, figure_to_dict, load_figure
+from .profile_report import (
+    RepeatedRuns,
+    kernel_summary,
+    profile_report,
+    run_repeated,
+)
+from .figures import (
+    FigureResult,
+    fig1_breakdown,
+    fig6_performance,
+    fig7_instruction_mix,
+    fig8_load_transactions,
+    fig9_l1_hit_rate,
+    fig11_tp_on_cuda,
+)
+from .report import format_table, matrix_table
+from .runner import (
+    DEFAULT_SCALE,
+    RunRecord,
+    clear_cache,
+    geomean,
+    geomean_by_technique,
+    normalized,
+    run_one,
+    run_sweep,
+)
+from .scalability import (
+    FIG12_TECHNIQUES,
+    fig12a_object_scaling,
+    fig12b_type_scaling,
+)
+from .tables import (
+    AccessCounts,
+    measure_access_counts,
+    table1_access_model,
+    table2_workloads,
+)
+
+__all__ = [
+    "RepeatedRuns",
+    "kernel_summary",
+    "profile_report",
+    "run_repeated",
+    "export_figure",
+    "figure_to_dict",
+    "load_figure",
+    "DEFAULT_CHUNK_SIZES",
+    "InitComparison",
+    "fig10_chunk_sweep",
+    "init_performance",
+    "FigureResult",
+    "fig1_breakdown",
+    "fig6_performance",
+    "fig7_instruction_mix",
+    "fig8_load_transactions",
+    "fig9_l1_hit_rate",
+    "fig11_tp_on_cuda",
+    "format_table",
+    "matrix_table",
+    "DEFAULT_SCALE",
+    "RunRecord",
+    "clear_cache",
+    "geomean",
+    "geomean_by_technique",
+    "normalized",
+    "run_one",
+    "run_sweep",
+    "FIG12_TECHNIQUES",
+    "fig12a_object_scaling",
+    "fig12b_type_scaling",
+    "AccessCounts",
+    "measure_access_counts",
+    "table1_access_model",
+    "table2_workloads",
+]

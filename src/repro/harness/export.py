@@ -1,0 +1,63 @@
+"""JSON export/import of experiment results.
+
+The benchmark suite renders text tables; downstream tooling (plotting,
+regression tracking) wants structured data.  ``export_figure`` writes a
+:class:`~repro.harness.figures.FigureResult` to JSON with tuple keys
+flattened, and ``load_figure`` restores it.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .figures import FigureResult
+
+_KEY_SEP = "||"
+
+
+def _flatten_key(key) -> str:
+    if isinstance(key, tuple):
+        return _KEY_SEP.join(str(k) for k in key)
+    return str(key)
+
+
+def _restore_key(key: str):
+    if _KEY_SEP in key:
+        parts = key.split(_KEY_SEP)
+        restored = tuple(int(p) if p.lstrip("-").isdigit() else p
+                         for p in parts)
+        return restored
+    if key.lstrip("-").isdigit():
+        return int(key)
+    return key
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """JSON-safe dict form of a figure result."""
+    return {
+        "figure": result.figure,
+        "values": {_flatten_key(k): v for k, v in result.values.items()},
+        "summary": {_flatten_key(k): v for k, v in result.summary.items()},
+        "table": result.table,
+    }
+
+
+def export_figure(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Write one figure result as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(figure_to_dict(result), indent=2,
+                               default=float))
+    return path
+
+
+def load_figure(path: Union[str, Path]) -> FigureResult:
+    """Restore a figure result written by :func:`export_figure`."""
+    data = json.loads(Path(path).read_text())
+    return FigureResult(
+        figure=data["figure"],
+        values={_restore_key(k): v for k, v in data["values"].items()},
+        summary={_restore_key(k): v for k, v in data["summary"].items()},
+        table=data["table"],
+    )

@@ -1,0 +1,131 @@
+"""NVProf-style text profiling of a machine's kernel launches.
+
+The paper collects everything through NVProf (section 7); this module
+renders the simulated counters in the same spirit: a per-launch kernel
+summary plus the counter block (gld_transactions, hit rates, the
+instruction mix) for the accumulated run.
+
+Also implements the paper's repeated-measurement methodology: "we run
+each program 10 times and report the average as well as the maximum
+and minimum performance of the computation kernels."  Our simulator is
+deterministic for a fixed input, so the spread comes from input seeds,
+which is what the min/max error bars of Figure 6 respond to anyway.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..gpu.config import GPUConfig, scaled_config
+from ..gpu.isa import InstrClass
+from ..gpu.machine import Machine
+from ..gpu.stats import KernelStats
+from ..workloads import make_workload
+from .report import format_table
+
+
+def kernel_summary(machine: Machine) -> str:
+    """Per-launch kernel table, like nvprof's GPU activities list."""
+    history = machine.launch_history
+    if not history:
+        return "no launches recorded"
+    # aggregate repeated launches of the same kernel name
+    agg = {}
+    for name, st in history:
+        entry = agg.setdefault(name, [0, 0.0, 0, 0])
+        entry[0] += 1
+        entry[1] += st.cycles
+        entry[2] += st.global_load_transactions
+        entry[3] += st.vfunc_calls
+    total = sum(e[1] for e in agg.values()) or 1.0
+    rows = [
+        [name, n, f"{cyc:.0f}", f"{cyc / total:.1%}", gld, vf]
+        for name, (n, cyc, gld, vf) in sorted(
+            agg.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    return format_table(
+        ["kernel", "launches", "cycles", "time%", "gld", "vcalls"],
+        rows, title="kernel summary",
+    )
+
+
+def profile_report(machine: Machine, title: str = "") -> str:
+    """Render one machine's accumulated run like an nvprof summary."""
+    s = machine.run_stats
+    cfg = machine.config
+    rows = [
+        ["launches", machine.launches],
+        ["simulated cycles", f"{s.cycles:.0f}"],
+        ["  compute-bound share",
+         f"{(s.compute_cycles / s.cycles if s.cycles else 0):.1%}"],
+        ["  memory-bound share",
+         f"{(s.memory_cycles / s.cycles if s.cycles else 0):.1%}"],
+        ["wall-clock equivalent",
+         f"{cfg.cycles_to_seconds(s.cycles) * 1e6:.1f} us"],
+        ["warp instructions", s.total_warp_instrs],
+        ["  MEM", s.warp_instrs[InstrClass.MEM]],
+        ["  COMPUTE", s.warp_instrs[InstrClass.COMPUTE]],
+        ["  CTRL", s.warp_instrs[InstrClass.CTRL]],
+        ["gld_transactions", s.global_load_transactions],
+        ["gst_transactions", s.global_store_transactions],
+        ["L1 hit rate", f"{s.l1_hit_rate:.1%}"],
+        ["L2 hit rate", f"{s.l2_hit_rate:.1%}"],
+        ["DRAM sectors", s.dram_accesses],
+        ["DRAM row misses", s.dram_row_misses],
+        ["constant-cache accesses", s.const_accesses],
+        ["virtual function calls", s.vfunc_calls],
+        ["vFuncPKI", f"{s.vfunc_pki:.1f}"],
+        ["call serializations", s.call_serializations],
+    ]
+    counters = format_table(
+        ["counter", "value"], rows,
+        title=title or f"profile: {machine.describe()}",
+    )
+    return counters + "\n\n" + kernel_summary(machine)
+
+
+# ----------------------------------------------------------------------
+# repeated runs (the paper's error bars)
+# ----------------------------------------------------------------------
+@dataclass
+class RepeatedRuns:
+    """Cycle statistics over several seeded runs of one configuration."""
+
+    workload: str
+    technique: str
+    cycles: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.cycles) / len(self.cycles)
+
+    @property
+    def min(self) -> float:
+        return min(self.cycles)
+
+    @property
+    def max(self) -> float:
+        return max(self.cycles)
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / mean: the error-bar width of Figure 6."""
+        return (self.max - self.min) / self.mean if self.mean else 0.0
+
+
+def run_repeated(
+    workload: str,
+    technique: str,
+    seeds: Sequence[int] = (3, 7, 11, 19, 23),
+    scale: float = 0.1,
+    config: Optional[GPUConfig] = None,
+) -> RepeatedRuns:
+    """Run one configuration over several input seeds (section 7)."""
+    cfg = config or scaled_config()
+    cycles = []
+    for seed in seeds:
+        m = Machine(technique, config=cfg)
+        wl = make_workload(workload, m, scale=scale, seed=seed)
+        cycles.append(wl.run().cycles)
+    return RepeatedRuns(workload=workload, technique=technique, cycles=cycles)

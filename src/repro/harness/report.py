@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+The paper's artifact prints normalized numbers per workload; we do the
+same (the benches tee these tables into the benchmark logs and
+EXPERIMENTS.md quotes them).
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def matrix_table(
+    ratios: Dict[Tuple[str, str], float],
+    techniques: Sequence[str],
+    title: str = "",
+    gm_row: Dict[str, float] = None,
+    gm_label: str = "GM",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a workload x technique matrix with an optional GM row."""
+    workloads: List[str] = []
+    for wl, _ in ratios:
+        if wl not in workloads:
+            workloads.append(wl)
+    rows = []
+    for wl in workloads:
+        rows.append([wl] + [ratios.get((wl, t), float("nan")) for t in techniques])
+    if gm_row is not None:
+        rows.append([gm_label] + [gm_row.get(t, float("nan")) for t in techniques])
+    return format_table(["workload"] + list(techniques), rows, title=title,
+                        float_fmt=float_fmt)

@@ -1,0 +1,189 @@
+"""Experiment runner: sweeps (workload x technique) and caches results.
+
+Every figure in section 8 is a view over the same sweep (performance,
+instruction mix, load transactions, L1 hit rate), so the runner
+executes each (workload, technique) pair once per process and caches
+the :class:`RunRecord`; the per-figure harnesses then slice, normalise
+and tabulate.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..gpu.config import GPUConfig, scaled_config
+from ..gpu.isa import InstrClass
+from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
+from ..workloads import make_workload, workload_names
+
+#: Scale every benchmark runs at by default (fraction of each
+#: workload's nominal size; nominal is already scaled down from the
+#: paper -- see DESIGN.md).
+DEFAULT_SCALE = 0.25
+
+#: iterations=None means each workload's own default_iterations.
+DEFAULT_ITERATIONS: Optional[int] = None
+
+
+@dataclass
+class RunRecord:
+    """Everything one (workload, technique) run produced."""
+
+    workload: str
+    technique: str
+    cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    warp_instrs: Dict[str, int]
+    thread_instrs: int
+    vfunc_calls: int
+    vfunc_pki: float
+    gld_transactions: int
+    gst_transactions: int
+    l1_hit_rate: float
+    l2_hit_rate: float
+    dram_accesses: int
+    dram_row_misses: int
+    const_accesses: int
+    const_hits: int
+    tlb_walks: int
+    call_serializations: int
+    role_transactions: Dict[str, int]
+    role_instrs: Dict[str, int]
+    role_levels: Dict[str, list]
+    checksum: float
+    num_objects: int
+    num_types: int
+    num_vfuncs: int
+    external_fragmentation: float
+
+    @property
+    def total_warp_instrs(self) -> int:
+        return sum(self.warp_instrs.values())
+
+
+_CACHE: Dict[Tuple, RunRecord] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_one(
+    workload: str,
+    technique: str,
+    scale: float = DEFAULT_SCALE,
+    iterations: Optional[int] = DEFAULT_ITERATIONS,
+    config: Optional[GPUConfig] = None,
+    seed: int = 7,
+    use_cache: bool = True,
+) -> RunRecord:
+    """Run one workload under one technique and record the counters."""
+    cfg = config or scaled_config()
+    key = (workload, technique, scale, iterations, cfg.name, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    machine = Machine(technique, config=cfg)
+    wl = make_workload(workload, machine, scale=scale, seed=seed)
+    stats = wl.run(iterations)
+    record = RunRecord(
+        workload=workload,
+        technique=technique,
+        cycles=stats.cycles,
+        compute_cycles=stats.compute_cycles,
+        memory_cycles=stats.memory_cycles,
+        warp_instrs={c.value: n for c, n in stats.warp_instrs.items()},
+        thread_instrs=stats.thread_instrs,
+        vfunc_calls=stats.vfunc_calls,
+        vfunc_pki=stats.vfunc_pki,
+        gld_transactions=stats.global_load_transactions,
+        gst_transactions=stats.global_store_transactions,
+        l1_hit_rate=stats.l1_hit_rate,
+        l2_hit_rate=stats.l2_hit_rate,
+        dram_accesses=stats.dram_accesses,
+        dram_row_misses=stats.dram_row_misses,
+        const_accesses=stats.const_accesses,
+        const_hits=stats.const_hits,
+        tlb_walks=stats.tlb_walks,
+        call_serializations=stats.call_serializations,
+        role_transactions=dict(stats.role_transactions),
+        role_instrs=dict(stats.role_instrs),
+        role_levels={k: list(v) for k, v in stats.role_levels.items()},
+        checksum=wl.checksum(),
+        num_objects=wl.num_live_objects(),
+        num_types=wl.num_types(),
+        num_vfuncs=wl.num_vfunc_impls(),
+        external_fragmentation=machine.allocator.external_fragmentation(),
+    )
+    if use_cache:
+        _CACHE[key] = record
+    return record
+
+
+def run_sweep(
+    workloads: Optional[Sequence[str]] = None,
+    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    scale: float = DEFAULT_SCALE,
+    iterations: Optional[int] = DEFAULT_ITERATIONS,
+    config: Optional[GPUConfig] = None,
+    seed: int = 7,
+) -> Dict[Tuple[str, str], RunRecord]:
+    """Run every (workload, technique) pair; returns the record map."""
+    names = list(workloads) if workloads is not None else workload_names()
+    out: Dict[Tuple[str, str], RunRecord] = {}
+    for wl in names:
+        for tech in techniques:
+            out[(wl, tech)] = run_one(
+                wl, tech, scale=scale, iterations=iterations,
+                config=config, seed=seed,
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# aggregation helpers
+# ----------------------------------------------------------------------
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        return float("nan")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalized(
+    records: Dict[Tuple[str, str], RunRecord],
+    metric: str,
+    baseline: str = "sharedoa",
+    invert: bool = False,
+) -> Dict[Tuple[str, str], float]:
+    """metric[tech]/metric[baseline] per workload (or inverted).
+
+    ``invert=True`` turns a cost metric (cycles) into a *performance*
+    ratio, matching 'Norm. Perf.' in Figure 6: baseline/technique.
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    workloads = sorted({wl for wl, _ in records})
+    for wl in workloads:
+        base = getattr(records[(wl, baseline)], metric)
+        for (w, tech), rec in records.items():
+            if w != wl:
+                continue
+            value = getattr(rec, metric)
+            if invert:
+                out[(wl, tech)] = base / value if value else float("nan")
+            else:
+                out[(wl, tech)] = value / base if base else float("nan")
+    return out
+
+
+def geomean_by_technique(
+    ratios: Dict[Tuple[str, str], float]
+) -> Dict[str, float]:
+    by_tech: Dict[str, List[float]] = {}
+    for (_, tech), v in ratios.items():
+        by_tech.setdefault(tech, []).append(v)
+    return {tech: geomean(vs) for tech, vs in by_tech.items()}

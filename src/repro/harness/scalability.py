@@ -1,0 +1,108 @@
+"""Scalability microbenchmark study (section 8.3, Figure 12).
+
+* Figure 12a: 4 types, object count swept; execution time normalized
+  to BRANCH at the smallest point.  CUDA's gap to BRANCH widens with
+  object count (to 5.6x at the top of the paper's sweep); COAL and
+  TypePointer track BRANCH much more closely (3.3x / 2.0x).
+* Figure 12b: 16M objects (scaled), type count swept 1..32; everything
+  degrades together as SIMD utilisation collapses and the techniques
+  converge.
+
+Counts are scaled 1/32 from the paper's axes (1M..32M objects -> 32K..
+1M) -- see DESIGN.md.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..gpu.config import GPUConfig, scaled_config
+from ..gpu.machine import Machine
+from ..workloads.microbench import BranchMicrobench, ObjectMicrobench
+from .figures import FigureResult
+from .report import format_table
+
+#: techniques shown in Figure 12 (BRANCH handled separately)
+FIG12_TECHNIQUES = ("cuda", "coal", "typepointer")
+
+DEFAULT_OBJECT_SWEEP = (32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576)
+DEFAULT_TYPE_SWEEP = (1, 2, 4, 8, 16, 32)
+DEFAULT_FIXED_OBJECTS = 524_288   # stands in for the paper's 16M
+
+
+def _micro_cycles(technique: str, num_objects: int, num_types: int,
+                  cfg: GPUConfig) -> float:
+    heap_cap = max(1 << 22, num_objects * 64)
+    if technique == "branch":
+        m = Machine("cuda", config=cfg, heap_capacity=1 << 22)
+        bench = BranchMicrobench(m, num_objects, num_types)
+    else:
+        m = Machine(technique, config=cfg, heap_capacity=heap_cap)
+        bench = ObjectMicrobench(m, num_objects, num_types)
+    return bench.run(iterations=1).cycles
+
+
+def fig12a_object_scaling(
+    object_counts: Sequence[int] = DEFAULT_OBJECT_SWEEP,
+    num_types: int = 4,
+    config: Optional[GPUConfig] = None,
+) -> FigureResult:
+    """Execution time vs object count, normalized to BRANCH @ smallest."""
+    cfg = config or scaled_config()
+    cycles: Dict[Tuple[str, int], float] = {}
+    for n in object_counts:
+        cycles[("branch", n)] = _micro_cycles("branch", n, num_types, cfg)
+        for tech in FIG12_TECHNIQUES:
+            cycles[(tech, n)] = _micro_cycles(tech, n, num_types, cfg)
+    base = cycles[("branch", object_counts[0])]
+    norm = {k: v / base for k, v in cycles.items()}
+    # slowdown vs BRANCH at the largest point (the paper quotes 5.6x
+    # for CUDA, 3.3x COAL, 2.0x TypePointer at 32M objects)
+    top = object_counts[-1]
+    summary = {
+        tech: cycles[(tech, top)] / cycles[("branch", top)]
+        for tech in FIG12_TECHNIQUES
+    }
+    header = ["objects", "branch"] + list(FIG12_TECHNIQUES)
+    rows = [
+        [n, norm[("branch", n)]] + [norm[(t, n)] for t in FIG12_TECHNIQUES]
+        for n in object_counts
+    ]
+    table = format_table(
+        header, rows,
+        title="Figure 12a: normalized execution time vs #objects "
+              "(4 types; paper top-end slowdowns vs BRANCH: CUDA 5.6x, "
+              "COAL 3.3x, TP 2.0x)",
+    )
+    return FigureResult("fig12a", norm, summary, table)
+
+
+def fig12b_type_scaling(
+    type_counts: Sequence[int] = DEFAULT_TYPE_SWEEP,
+    num_objects: int = DEFAULT_FIXED_OBJECTS,
+    config: Optional[GPUConfig] = None,
+) -> FigureResult:
+    """Execution time vs types per warp, normalized to BRANCH @ 1 type."""
+    cfg = config or scaled_config()
+    cycles: Dict[Tuple[str, int], float] = {}
+    for t in type_counts:
+        cycles[("branch", t)] = _micro_cycles("branch", num_objects, t, cfg)
+        for tech in FIG12_TECHNIQUES:
+            cycles[(tech, t)] = _micro_cycles(tech, num_objects, t, cfg)
+    base = cycles[("branch", type_counts[0])]
+    norm = {k: v / base for k, v in cycles.items()}
+    top = type_counts[-1]
+    summary = {
+        tech: cycles[(tech, top)] / cycles[("branch", top)]
+        for tech in FIG12_TECHNIQUES
+    }
+    header = ["types", "branch"] + list(FIG12_TECHNIQUES)
+    rows = [
+        [t, norm[("branch", t)]] + [norm[(tc, t)] for tc in FIG12_TECHNIQUES]
+        for t in type_counts
+    ]
+    table = format_table(
+        header, rows,
+        title="Figure 12b: normalized execution time vs #types per warp "
+              "(paper: universal degradation; gaps shrink at 32 types)",
+    )
+    return FigureResult("fig12b", norm, summary, table)

@@ -1,0 +1,57 @@
+"""Memory subsystem: address space, heap, MMU, and object allocators."""
+
+from .address_space import (
+    ADDR_MASK,
+    MAX_TAG,
+    PAGE_SIZE,
+    TAG_BITS,
+    VA_BITS,
+    align_up,
+    decode_tag,
+    decode_tag_array,
+    encode_tag,
+    has_tag_array,
+    is_canonical,
+    strip_tag,
+    strip_tag_array,
+)
+from .allocators import AllocationStats, Allocator
+from .cuda_allocator import CudaHeapAllocator
+from .debug import AllocationRecord, HeapChecker, allocation_map
+from .fragmentation import FragmentationReport, measure, per_type_usage
+from .heap import Heap
+from .mmu import MMU, MMUMode, MMUStats
+from .shared_oa import Region, SharedOAAllocator
+from .typepointer_alloc import TypePointerAllocator
+
+__all__ = [
+    "ADDR_MASK",
+    "MAX_TAG",
+    "PAGE_SIZE",
+    "TAG_BITS",
+    "VA_BITS",
+    "align_up",
+    "decode_tag",
+    "decode_tag_array",
+    "encode_tag",
+    "has_tag_array",
+    "is_canonical",
+    "strip_tag",
+    "strip_tag_array",
+    "AllocationStats",
+    "Allocator",
+    "CudaHeapAllocator",
+    "AllocationRecord",
+    "HeapChecker",
+    "allocation_map",
+    "FragmentationReport",
+    "measure",
+    "per_type_usage",
+    "Heap",
+    "MMU",
+    "MMUMode",
+    "MMUStats",
+    "Region",
+    "SharedOAAllocator",
+    "TypePointerAllocator",
+]

@@ -1,0 +1,135 @@
+"""Allocator protocol shared by all object allocators in the model.
+
+Three allocators implement this protocol:
+
+* :class:`~repro.memory.cuda_allocator.CudaHeapAllocator` -- models the
+  default CUDA device-side ``new``: padded allocations, type-interleaved
+  and scattered placement (paper section 8.2).
+* :class:`~repro.memory.shared_oa.SharedOAAllocator` -- the paper's
+  type-based Shared Object Allocator (section 4).
+* :class:`~repro.memory.typepointer_alloc.TypePointerAllocator` -- a
+  wrapper that additionally encodes the type's vTable offset into the
+  upper 15 pointer bits (section 6.1).  It wraps either of the above,
+  which is how the paper evaluates TypePointer both on SharedOA
+  (Figure 6) and on the CUDA allocator (Figure 11).
+
+An allocation's "type key" is any hashable object; the runtime layer
+passes :class:`~repro.runtime.typesystem.TypeDescriptor` instances.
+"""
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import DoubleFree
+from .heap import Heap
+
+
+@dataclass
+class AllocationStats:
+    """Counters every allocator maintains."""
+
+    allocations: int = 0
+    frees: int = 0
+    live_bytes: int = 0
+    reserved_bytes: int = 0
+    #: Modeled cycles spent performing allocations (for the init-phase
+    #: comparison in section 8.2: device-side CUDA allocation pays a
+    #: serialisation/synchronisation penalty per call; host-side
+    #: SharedOA is a near-free bump).
+    modeled_alloc_cycles: int = 0
+
+    @property
+    def live_allocations(self) -> int:
+        return self.allocations - self.frees
+
+
+class Allocator(abc.ABC):
+    """Object allocator over the simulated heap."""
+
+    #: short name used in reports ("CUDA", "SharedOA", ...)
+    name: str = "abstract"
+    #: modeled cycles charged per allocation call (init-phase model)
+    ALLOC_CYCLE_COST = 0
+
+    def __init__(self, heap: Heap):
+        self.heap = heap
+        self.stats = AllocationStats()
+        # ground truth: canonical object base address -> (type_key, size)
+        self._live: Dict[int, Tuple[Hashable, int]] = {}
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _place_object(self, type_key: Hashable, size: int) -> int:
+        """Pick an address for a new ``size``-byte object of ``type_key``."""
+
+    @abc.abstractmethod
+    def _unplace_object(self, addr: int, type_key: Hashable, size: int) -> None:
+        """Return the object's slot to the allocator."""
+
+    # ------------------------------------------------------------------
+    # shared implementation
+    # ------------------------------------------------------------------
+    def alloc_object(self, type_key: Hashable, size: int) -> int:
+        """Allocate one object; returns its (possibly tagged) pointer."""
+        if size <= 0:
+            raise ValueError(f"object size must be positive, got {size}")
+        addr = self._place_object(type_key, size)
+        self._live[addr] = (type_key, size)
+        self.stats.allocations += 1
+        self.stats.live_bytes += size
+        self.stats.modeled_alloc_cycles += self.ALLOC_CYCLE_COST
+        self.heap.fill(addr, size, 0)
+        return addr
+
+    def free_object(self, ptr: int) -> None:
+        """Free a pointer previously returned by :meth:`alloc_object`."""
+        addr = self._canonical(ptr)
+        if addr not in self._live:
+            raise DoubleFree(f"free of unknown or already-freed pointer {addr:#x}")
+        type_key, size = self._live.pop(addr)
+        self._unplace_object(addr, type_key, size)
+        self.stats.frees += 1
+        self.stats.live_bytes -= size
+
+    def alloc_raw(self, size: int, align: int = 16) -> int:
+        """Allocate an untyped device buffer (workload arrays, tables).
+
+        Raw buffers are not object storage, so they do not count toward
+        ``reserved_bytes`` (which feeds the Figure 10b fragmentation
+        metric over *object regions*).
+        """
+        return self.heap.sbrk(size, align)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _canonical(self, ptr: int) -> int:
+        """Hook for tag-encoding wrappers; identity by default."""
+        return ptr
+
+    def owner_type(self, ptr: int) -> Optional[Hashable]:
+        """Ground-truth type of a live object, or None (validation only)."""
+        entry = self._live.get(self._canonical(ptr))
+        return entry[0] if entry else None
+
+    def live_objects(self) -> List[Tuple[int, Hashable, int]]:
+        """(addr, type_key, size) for every live object, address order."""
+        return sorted((a, t, s) for a, (t, s) in self._live.items())
+
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def external_fragmentation(self) -> float:
+        """Fraction of reserved object space not occupied by live objects.
+
+        Matches the metric plotted in Figure 10b.  Allocators that do not
+        reserve space ahead of demand report 0.
+        """
+        if self.stats.reserved_bytes == 0:
+            return 0.0
+        frag = 1.0 - self.stats.live_bytes / self.stats.reserved_bytes
+        return max(0.0, frag)

@@ -1,0 +1,111 @@
+"""Heap and allocator debugging tools.
+
+Library-grade introspection for the simulated memory: an allocation
+map (who owns which bytes), leak accounting between two checkpoints,
+and integrity checks (no overlaps, every live object inside its
+allocator's jurisdiction).  Used by tests and handy when developing
+new workloads against the simulator.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import MemoryError_
+from .allocators import Allocator
+from .shared_oa import SharedOAAllocator
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    addr: int
+    size: int
+    type_key: Hashable
+
+
+class HeapChecker:
+    """Integrity and leak checks over one allocator."""
+
+    def __init__(self, allocator: Allocator):
+        self.allocator = allocator
+        self._baseline: Optional[Dict[int, AllocationRecord]] = None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[int, AllocationRecord]:
+        """Current live allocations, keyed by canonical address."""
+        return {
+            addr: AllocationRecord(addr, size, type_key)
+            for addr, type_key, size in self.allocator.live_objects()
+        }
+
+    def checkpoint(self) -> None:
+        """Remember the current live set for later leak accounting."""
+        self._baseline = self.snapshot()
+
+    def leaks_since_checkpoint(self) -> List[AllocationRecord]:
+        """Objects alive now that were not alive at the checkpoint."""
+        if self._baseline is None:
+            raise MemoryError_("no checkpoint taken")
+        now = self.snapshot()
+        return [rec for addr, rec in sorted(now.items())
+                if addr not in self._baseline]
+
+    def freed_since_checkpoint(self) -> List[AllocationRecord]:
+        """Objects alive at the checkpoint that are gone now."""
+        if self._baseline is None:
+            raise MemoryError_("no checkpoint taken")
+        now = self.snapshot()
+        return [rec for addr, rec in sorted(self._baseline.items())
+                if addr not in now]
+
+    # ------------------------------------------------------------------
+    def check_no_overlaps(self) -> None:
+        """Raise if any two live objects overlap."""
+        spans = sorted(
+            (addr, addr + size, t)
+            for addr, t, size in self.allocator.live_objects()
+        )
+        for (a0, a1, ta), (b0, _, tb) in zip(spans, spans[1:]):
+            if a1 > b0:
+                raise MemoryError_(
+                    f"live objects overlap: [{a0:#x},{a1:#x}) ({ta!r}) and "
+                    f"{b0:#x} ({tb!r})"
+                )
+
+    def check_objects_in_ranges(self) -> None:
+        """SharedOA only: every live object inside a same-type region."""
+        inner = getattr(self.allocator, "inner", self.allocator)
+        if not isinstance(inner, SharedOAAllocator):
+            return
+        ranges = inner.ranges()
+        for addr, t, size in self.allocator.live_objects():
+            hits = [(b, e, rt) for (b, e, rt) in ranges
+                    if b <= addr and addr + size <= e]
+            if len(hits) != 1 or hits[0][2] != t:
+                raise MemoryError_(
+                    f"object at {addr:#x} ({t!r}) not inside exactly one "
+                    f"region of its type"
+                )
+
+    def check_all(self) -> None:
+        self.check_no_overlaps()
+        self.check_objects_in_ranges()
+
+
+def allocation_map(allocator: Allocator, max_rows: int = 40) -> str:
+    """Human-readable map of live allocations (address order)."""
+    live = allocator.live_objects()
+    lines = [f"{len(live)} live objects, "
+             f"{allocator.stats.live_bytes} bytes live, "
+             f"{allocator.stats.reserved_bytes} bytes reserved "
+             f"({allocator.external_fragmentation():.1%} external frag)"]
+    by_type: Dict[Hashable, int] = {}
+    for _, t, size in live:
+        by_type[t] = by_type.get(t, 0) + 1
+    for t, n in sorted(by_type.items(), key=lambda kv: str(kv[0])):
+        lines.append(f"  {t!s:30s} x{n}")
+    for addr, t, size in live[:max_rows]:
+        lines.append(f"  {addr:#012x} +{size:<6d} {t!s}")
+    if len(live) > max_rows:
+        lines.append(f"  ... {len(live) - max_rows} more")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Fragmentation metrics for the allocator study (Figure 10b).
+
+External fragmentation is reserved-but-unoccupied object space:
+regions are reserved in object-count chunks ahead of demand, so large
+initial chunks waste more of the final region's tail.  SharedOA has no
+internal fragmentation (objects are packed at natural stride); the
+CUDA allocator's padding shows up as internal fragmentation instead.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from .allocators import Allocator
+from .cuda_allocator import CudaHeapAllocator
+from .shared_oa import SharedOAAllocator
+
+
+@dataclass
+class FragmentationReport:
+    """Breakdown of an allocator's space usage."""
+
+    live_bytes: int
+    reserved_bytes: int
+    external_fragmentation: float
+    internal_fragmentation: float
+    region_count: int
+
+    def __str__(self) -> str:
+        return (
+            f"live={self.live_bytes}B reserved={self.reserved_bytes}B "
+            f"external={self.external_fragmentation:.1%} "
+            f"internal={self.internal_fragmentation:.1%} "
+            f"regions={self.region_count}"
+        )
+
+
+def measure(allocator: Allocator) -> FragmentationReport:
+    """Compute a :class:`FragmentationReport` for any allocator."""
+    inner = getattr(allocator, "inner", allocator)
+    live = inner.stats.live_bytes
+    reserved = inner.stats.reserved_bytes
+
+    internal = 0.0
+    region_count = 0
+    if isinstance(inner, SharedOAAllocator):
+        region_count = inner.region_count()
+        # natural stride == requested size rounded to 8: no internal waste
+        internal = 0.0
+    elif isinstance(inner, CudaHeapAllocator):
+        # padding + size-class rounding is internal waste
+        padded = sum(inner.size_class(s) for _, _, s in inner.live_objects())
+        internal = 1.0 - live / padded if padded else 0.0
+
+    return FragmentationReport(
+        live_bytes=live,
+        reserved_bytes=reserved,
+        external_fragmentation=allocator.external_fragmentation(),
+        internal_fragmentation=internal,
+        region_count=region_count,
+    )
+
+
+def per_type_usage(allocator: SharedOAAllocator) -> Dict[Hashable, Dict[str, int]]:
+    """Per-type region statistics for a SharedOA allocator."""
+    usage: Dict[Hashable, Dict[str, int]] = {}
+    for base, end, type_key in allocator.ranges():
+        entry = usage.setdefault(
+            type_key, {"regions": 0, "reserved_bytes": 0, "live_objects": 0}
+        )
+        entry["regions"] += 1
+        entry["reserved_bytes"] += end - base
+    for region in allocator._all_regions:
+        usage[region.type_key]["live_objects"] += region.live
+    return usage

@@ -1,0 +1,122 @@
+"""The GPU Memory Management Unit model.
+
+The real proposal (paper section 6.3) is a small change to the MMU so
+that the unused upper 15 bits of a virtual address are ignored during
+translation instead of raising a non-canonical-address exception.  We
+model three operating modes:
+
+* ``BASELINE``      -- tagged pointers fault (stock hardware),
+* ``TYPEPOINTER``   -- the MMU strips the tag bits in hardware
+  (the proposed modification; zero overhead),
+* ``PROTOTYPE``     -- tagged pointers fault, so the *compiler* must
+  insert mask instructions before every dereference.  This mirrors the
+  software prototype the authors ran on the silicon V100 and lets us
+  measure the (insignificant) masking overhead they report.
+
+The MMU also keeps a demand-mapped page table over the heap so page
+counts and translations are observable, and counts every translation
+and fault for the stats layer.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MMUFault
+from .address_space import (
+    PAGE_SIZE,
+    decode_tag_array,
+    has_tag_array,
+    strip_tag_array,
+)
+from .heap import Heap
+
+
+class MMUMode(enum.Enum):
+    """Hardware behaviour when the upper 15 VA bits are non-zero."""
+
+    BASELINE = "baseline"
+    TYPEPOINTER = "typepointer"
+    PROTOTYPE = "prototype"
+
+
+@dataclass
+class MMUStats:
+    """Counters exposed by the MMU model."""
+
+    translations: int = 0
+    tag_strips: int = 0
+    faults: int = 0
+    pages_mapped: int = 0
+
+    def reset(self) -> None:
+        self.translations = 0
+        self.tag_strips = 0
+        self.faults = 0
+
+
+@dataclass
+class MMU:
+    """Translates warp-wide virtual addresses into heap addresses.
+
+    The simulator uses an identity virtual->physical mapping (the heap
+    *is* the physical memory), so translation is: validate tag bits per
+    the operating mode, strip them if allowed, and demand-map the pages
+    touched.
+    """
+
+    heap: Heap
+    mode: MMUMode = MMUMode.BASELINE
+    stats: MMUStats = field(default_factory=MMUStats)
+
+    def __post_init__(self):
+        self._mapped_pages: set = set()
+
+    # ------------------------------------------------------------------
+    def translate(self, addrs: np.ndarray) -> np.ndarray:
+        """Translate a warp's worth of virtual addresses.
+
+        Returns canonical heap addresses.  Raises :class:`MMUFault` when
+        tag bits are present and the mode does not permit them.
+        """
+        addrs = addrs.astype(np.uint64, copy=False)
+        self.stats.translations += 1
+        tagged = has_tag_array(addrs)
+        if tagged.any():
+            if self.mode is MMUMode.TYPEPOINTER:
+                self.stats.tag_strips += 1
+                addrs = strip_tag_array(addrs)
+            else:
+                self.stats.faults += 1
+                bad = addrs[tagged][0]
+                tag = int(decode_tag_array(addrs[tagged][:1])[0])
+                raise MMUFault(
+                    f"non-canonical address {int(bad):#x} (tag {tag:#x}); "
+                    f"MMU mode {self.mode.value!r} does not ignore tag bits"
+                )
+        self._map_pages(addrs)
+        return addrs
+
+    def translate_scalar(self, addr: int) -> int:
+        """Scalar convenience wrapper over :meth:`translate`."""
+        return int(self.translate(np.array([addr], dtype=np.uint64))[0])
+
+    # ------------------------------------------------------------------
+    def _map_pages(self, addrs: np.ndarray) -> None:
+        pages = np.unique(addrs // np.uint64(PAGE_SIZE))
+        for p in pages:
+            p = int(p)
+            if p not in self._mapped_pages:
+                self._mapped_pages.add(p)
+                self.stats.pages_mapped += 1
+
+    @property
+    def mapped_page_count(self) -> int:
+        """Number of distinct pages touched since construction."""
+        return len(self._mapped_pages)
+
+    def set_mode(self, mode: MMUMode) -> None:
+        """Switch operating mode (the paper's 'enable flag', section 6.3)."""
+        self.mode = mode

@@ -1,0 +1,29 @@
+"""Runtime layer: type system, vTables, device arrays, unified memory."""
+
+from .objects import DeviceArray
+from .proxy import ObjectProxy, proxies
+from .typesystem import (
+    FieldDecl,
+    ObjectLayout,
+    TypeDescriptor,
+    TypeRegistry,
+    compute_layout,
+)
+from .unified import InitPhaseReport, SharedObjectSpace, cpu_call
+from .vtable import ARENA_BYTES, VTableArena
+
+__all__ = [
+    "DeviceArray",
+    "ObjectProxy",
+    "proxies",
+    "FieldDecl",
+    "ObjectLayout",
+    "TypeDescriptor",
+    "TypeRegistry",
+    "compute_layout",
+    "InitPhaseReport",
+    "SharedObjectSpace",
+    "cpu_call",
+    "ARENA_BYTES",
+    "VTableArena",
+]

@@ -1,0 +1,75 @@
+"""Device-resident arrays and object-collection helpers.
+
+Workloads keep their object graphs in device arrays (arrays of object
+pointers, neighbour lists, grids...).  A :class:`DeviceArray` owns a
+contiguous simulated allocation; host-side reads/writes are free
+(initialisation, validation), while kernel-side accesses go through
+the execution context and are fully charged.
+"""
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..memory.heap import SCALAR_TYPES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpu.machine import Machine
+
+
+class DeviceArray:
+    """A typed, contiguous array in simulated device memory."""
+
+    def __init__(self, machine: "Machine", dtype: str, count: int, align: int = 128):
+        if dtype not in SCALAR_TYPES:
+            raise ValueError(f"unknown dtype {dtype!r}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.machine = machine
+        self.dtype = dtype
+        self.count = count
+        self.item_size = SCALAR_TYPES[dtype][1]
+        self.base = machine.allocator.alloc_raw(count * self.item_size, align)
+
+    # ------------------------------------------------------------------
+    def addr(self, idx) -> np.ndarray:
+        """Element addresses for (array of) indices."""
+        i = np.asarray(idx, dtype=np.uint64)
+        if (i >= self.count).any():
+            raise IndexError(f"index out of range for DeviceArray[{self.count}]")
+        return np.uint64(self.base) + i * np.uint64(self.item_size)
+
+    # host-side (uncharged) access -------------------------------------
+    def read(self) -> np.ndarray:
+        return self.machine.heap.read_array(self.base, self.dtype, self.count)
+
+    def write(self, values) -> None:
+        vals = np.asarray(values)
+        if vals.size != self.count:
+            raise ValueError(
+                f"expected {self.count} values, got {vals.size}"
+            )
+        self.machine.heap.write_array(self.base, self.dtype, vals.ravel())
+
+    def __getitem__(self, idx: int):
+        return self.machine.heap.load(
+            self.base + int(idx) * self.item_size, self.dtype
+        )
+
+    def __setitem__(self, idx: int, value) -> None:
+        self.machine.heap.store(
+            self.base + int(idx) * self.item_size, self.dtype, value
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    # kernel-side (charged) access -------------------------------------
+    def ld(self, ctx, idx, role: str = None) -> np.ndarray:
+        """Charged gather of elements at ``idx`` from inside a kernel."""
+        return ctx.load(self.addr(idx), self.dtype, role=role)
+
+    def st(self, ctx, idx, values) -> None:
+        """Charged scatter of ``values`` to ``idx`` from inside a kernel."""
+        ctx.store(self.addr(idx), self.dtype, values)

@@ -1,0 +1,115 @@
+"""Host-side object proxies: ergonomic CPU access to simulated objects.
+
+Workload and test code frequently reads simulated objects' fields from
+the host (initialisation, validation).  Raw heap arithmetic
+(``heap.load(canonical + layout.offset(f), dtype)``) is noisy;
+:class:`ObjectProxy` wraps one object pointer with attribute access::
+
+    dog = ObjectProxy(machine, ptr, Dog)
+    dog.age            # reads the simulated heap
+    dog.age = 3        # writes it
+    dog.type_of()      # ground-truth dynamic type
+    dog.call("speak")  # CPU-side virtual dispatch (SharedOA's promise)
+
+Host access is uncharged by design -- it models CPU-side work, which
+the paper's kernel measurements exclude.
+"""
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from ..errors import TypeSystemError
+from .typesystem import TypeDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpu.machine import Machine
+
+
+class ObjectProxy:
+    """Attribute-style host access to one simulated object."""
+
+    __slots__ = ("_machine", "_ptr", "_type", "_layout", "_canonical")
+
+    def __init__(self, machine: "Machine", ptr: int,
+                 static_type: TypeDescriptor):
+        object.__setattr__(self, "_machine", machine)
+        object.__setattr__(self, "_ptr", int(ptr))
+        object.__setattr__(self, "_type", static_type)
+        object.__setattr__(self, "_layout", machine.registry.layout(static_type))
+        object.__setattr__(
+            self, "_canonical", machine.allocator._canonical(int(ptr))
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def ptr(self) -> int:
+        """The (possibly tagged) pointer value."""
+        return self._ptr
+
+    @property
+    def address(self) -> int:
+        """The canonical heap address."""
+        return self._canonical
+
+    def type_of(self) -> TypeDescriptor:
+        """Ground-truth dynamic type from the allocator."""
+        t = self._machine.allocator.owner_type(self._ptr)
+        if t is None:
+            raise TypeSystemError(f"pointer {self._ptr:#x} is not a live object")
+        return t
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        try:
+            off = self._layout.offset(name)
+        except TypeSystemError:
+            raise AttributeError(
+                f"{self._type.name} has no field {name!r}"
+            ) from None
+        return self._machine.heap.load(
+            self._canonical + off, self._layout.dtype(name)
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        try:
+            off = self._layout.offset(name)
+        except TypeSystemError:
+            raise AttributeError(
+                f"{self._type.name} has no field {name!r}"
+            ) from None
+        self._machine.heap.store(
+            self._canonical + off, self._layout.dtype(name), value
+        )
+
+    # ------------------------------------------------------------------
+    def call(self, method: str):
+        """Resolve a virtual method CPU-side; returns the implementation.
+
+        Mirrors SharedOA's CPU/GPU shared dispatch (section 4): the
+        implementation is resolved through the object's *dynamic* type,
+        not the proxy's static one.
+        """
+        dynamic = self.type_of()
+        impl = dynamic.vtable_impls()[self._type.slot_of(method)]
+        if impl is None:
+            raise TypeSystemError(
+                f"{dynamic.name}.{method} is pure virtual"
+            )
+        return impl
+
+    def fields(self) -> dict:
+        """All field values as a plain dict (debugging aid)."""
+        return {
+            name: getattr(self, name)
+            for name, _, _ in self._layout.field_offsets
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ObjectProxy {self.type_of().name} @ {self._canonical:#x}"
+                f"{' tagged' if self._ptr != self._canonical else ''}>")
+
+
+def proxies(machine: "Machine", ptrs: Iterable[int],
+            static_type: TypeDescriptor) -> List[ObjectProxy]:
+    """Proxies for a batch of pointers."""
+    return [ObjectProxy(machine, int(p), static_type) for p in ptrs]

@@ -1,0 +1,224 @@
+"""The C++-like type system the workloads are written against.
+
+A :class:`TypeDescriptor` models one C++ class: named, typed fields,
+single inheritance, and virtual methods.  Virtual methods are Python
+callables with signature ``impl(ctx, objptrs)`` executed warp-wide by
+the SIMT executor; ``None`` marks a pure-virtual slot.
+
+Field *offsets* are not stored on the descriptor: the object header
+differs per technique (CUDA embeds one vTable pointer, SharedOA embeds
+a CPU and a GPU vTable pointer, Concord embeds a type tag), so the
+:class:`ObjectLayout` for a given header size is computed per machine
+and cached in the :class:`TypeRegistry`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TypeSystemError
+from ..memory.address_space import align_up
+from ..memory.heap import SCALAR_TYPES
+
+#: A virtual method implementation: ``impl(ctx, objptrs)``.
+MethodImpl = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """One declared member variable."""
+
+    name: str
+    dtype: str  # key into repro.memory.heap.SCALAR_TYPES
+
+    def __post_init__(self):
+        if self.dtype not in SCALAR_TYPES:
+            raise TypeSystemError(f"unknown field dtype {self.dtype!r}")
+
+    @property
+    def size(self) -> int:
+        return SCALAR_TYPES[self.dtype][1]
+
+
+class TypeDescriptor:
+    """One class in the workload's hierarchy."""
+
+    def __init__(
+        self,
+        name: str,
+        fields: Sequence[Tuple[str, str]] = (),
+        methods: Optional[Dict[str, Optional[MethodImpl]]] = None,
+        base: Optional["TypeDescriptor"] = None,
+    ):
+        self.name = name
+        self.base = base
+        self.own_fields: List[FieldDecl] = [FieldDecl(n, d) for n, d in fields]
+        self.own_methods: Dict[str, Optional[MethodImpl]] = dict(methods or {})
+
+        seen = set()
+        for f in self.all_fields():
+            if f.name in seen:
+                raise TypeSystemError(
+                    f"duplicate field {f.name!r} in hierarchy of {name!r}"
+                )
+            seen.add(f.name)
+
+        self._slots: Optional[Dict[str, int]] = None
+        self._vtable_impls: Optional[List[Optional[MethodImpl]]] = None
+
+    # ------------------------------------------------------------------
+    # hierarchy walks
+    # ------------------------------------------------------------------
+    def mro(self) -> List["TypeDescriptor"]:
+        """Base-to-derived chain (single inheritance)."""
+        chain: List[TypeDescriptor] = []
+        t: Optional[TypeDescriptor] = self
+        while t is not None:
+            chain.append(t)
+            t = t.base
+        chain.reverse()
+        return chain
+
+    def all_fields(self) -> List[FieldDecl]:
+        """Fields in layout order: base fields first, as in C++."""
+        out: List[FieldDecl] = []
+        for t in self.mro():
+            out.extend(t.own_fields)
+        return out
+
+    def is_subtype_of(self, other: "TypeDescriptor") -> bool:
+        return other in self.mro()
+
+    # ------------------------------------------------------------------
+    # virtual dispatch tables
+    # ------------------------------------------------------------------
+    def vtable_slots(self) -> Dict[str, int]:
+        """Method name -> slot index; overrides keep the base's slot."""
+        if self._slots is None:
+            slots: Dict[str, int] = {}
+            for t in self.mro():
+                for m in t.own_methods:
+                    if m not in slots:
+                        slots[m] = len(slots)
+            self._slots = slots
+        return self._slots
+
+    def vtable_impls(self) -> List[Optional[MethodImpl]]:
+        """Resolved implementation per slot (None = pure virtual)."""
+        if self._vtable_impls is None:
+            slots = self.vtable_slots()
+            impls: List[Optional[MethodImpl]] = [None] * len(slots)
+            for t in self.mro():  # derived overrides land last
+                for m, impl in t.own_methods.items():
+                    if impl is not None:
+                        impls[slots[m]] = impl
+            self._vtable_impls = impls
+        return self._vtable_impls
+
+    def is_abstract(self) -> bool:
+        return any(impl is None for impl in self.vtable_impls())
+
+    def num_virtual_methods(self) -> int:
+        return len(self.vtable_slots())
+
+    def slot_of(self, method: str) -> int:
+        slots = self.vtable_slots()
+        if method not in slots:
+            raise TypeSystemError(f"{self.name!r} has no virtual method {method!r}")
+        return slots[method]
+
+    def __repr__(self) -> str:
+        return f"<Type {self.name}>"
+
+
+@dataclass(frozen=True)
+class ObjectLayout:
+    """Concrete byte layout of a type under a given header size."""
+
+    type_desc: TypeDescriptor
+    header_size: int
+    field_offsets: Tuple[Tuple[str, str, int], ...]  # (name, dtype, offset)
+    size: int
+
+    def offset(self, field: str) -> int:
+        for name, _, off in self.field_offsets:
+            if name == field:
+                return off
+        raise TypeSystemError(
+            f"{self.type_desc.name!r} has no field {field!r}"
+        )
+
+    def dtype(self, field: str) -> str:
+        for name, dt, _ in self.field_offsets:
+            if name == field:
+                return dt
+        raise TypeSystemError(
+            f"{self.type_desc.name!r} has no field {field!r}"
+        )
+
+
+def compute_layout(type_desc: TypeDescriptor, header_size: int) -> ObjectLayout:
+    """Lay out fields after the header with natural alignment, C++-style."""
+    offsets: List[Tuple[str, str, int]] = []
+    cursor = header_size
+    for f in type_desc.all_fields():
+        cursor = align_up(cursor, f.size)
+        offsets.append((f.name, f.dtype, cursor))
+        cursor += f.size
+    size = align_up(max(cursor, header_size + 1), 8)
+    return ObjectLayout(
+        type_desc=type_desc,
+        header_size=header_size,
+        field_offsets=tuple(offsets),
+        size=size,
+    )
+
+
+class TypeRegistry:
+    """All types known to one machine, plus their layout cache."""
+
+    def __init__(self, header_size: int):
+        self.header_size = header_size
+        self._types: Dict[str, TypeDescriptor] = {}
+        self._layouts: Dict[str, ObjectLayout] = {}
+        #: stable small integer per registered type (Concord's type tag)
+        self._type_ids: Dict[str, int] = {}
+
+    def register(self, type_desc: TypeDescriptor) -> TypeDescriptor:
+        """Register a type (and, implicitly, its bases)."""
+        for t in type_desc.mro():
+            if t.name in self._types:
+                if self._types[t.name] is not t:
+                    raise TypeSystemError(
+                        f"two distinct types named {t.name!r} registered"
+                    )
+                continue
+            self._types[t.name] = t
+            self._type_ids[t.name] = len(self._type_ids)
+            self._layouts[t.name] = compute_layout(t, self.header_size)
+        return type_desc
+
+    def layout(self, type_desc: TypeDescriptor) -> ObjectLayout:
+        if type_desc.name not in self._layouts:
+            self.register(type_desc)
+        return self._layouts[type_desc.name]
+
+    def type_id(self, type_desc: TypeDescriptor) -> int:
+        if type_desc.name not in self._type_ids:
+            self.register(type_desc)
+        return self._type_ids[type_desc.name]
+
+    def by_id(self, type_id: int) -> TypeDescriptor:
+        for name, tid in self._type_ids.items():
+            if tid == type_id:
+                return self._types[name]
+        raise TypeSystemError(f"unknown type id {type_id}")
+
+    def all_types(self) -> List[TypeDescriptor]:
+        return list(self._types.values())
+
+    def concrete_types(self) -> List[TypeDescriptor]:
+        return [t for t in self._types.values() if not t.is_abstract()]
+
+    def __len__(self) -> int:
+        return len(self._types)

@@ -1,0 +1,30 @@
+"""The paper's eleven object-oriented workloads plus microbenchmarks."""
+
+from .base import (
+    PaperCharacteristics,
+    WORKLOAD_REGISTRY,
+    Workload,
+    make_workload,
+    register_workload,
+    workload_names,
+)
+
+# importing the modules populates WORKLOAD_REGISTRY
+from . import traffic  # noqa: F401
+from . import game_of_life  # noqa: F401
+from . import generation  # noqa: F401
+from . import structure  # noqa: F401
+from . import graphchi  # noqa: F401
+from . import raytracer  # noqa: F401
+from .microbench import BranchMicrobench, ObjectMicrobench
+
+__all__ = [
+    "PaperCharacteristics",
+    "WORKLOAD_REGISTRY",
+    "Workload",
+    "make_workload",
+    "register_workload",
+    "workload_names",
+    "BranchMicrobench",
+    "ObjectMicrobench",
+]

@@ -1,0 +1,133 @@
+"""Workload framework: the object-oriented GPU applications of Table 2.
+
+Each workload is a faithful, functional Python port of one of the
+paper's eleven applications, running *on the simulator*: its objects
+live at allocator-assigned simulated addresses, its virtual methods
+execute warp-wide through the machine's dispatch strategy, and its
+answers (levels, ranks, rendered pixels...) are bit-reproducible, so
+the paper's functional-validation-across-techniques check is a real
+test here.
+
+Workloads are scaled down from the paper's ~10^6 objects to ~10^4
+(see DESIGN.md section 2); Table 2's characteristics -- type counts,
+virtual-function counts, vFuncPKI -- are preserved in shape and
+recorded side by side in the Table 2 harness.
+"""
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..gpu.machine import Machine
+from ..gpu.stats import KernelStats
+
+
+@dataclass(frozen=True)
+class PaperCharacteristics:
+    """The row of Table 2 for a workload, as published."""
+
+    objects: int
+    types: int
+    vfuncs: int
+    vfunc_pki: float
+
+
+class Workload(abc.ABC):
+    """One object-oriented application, bound to one machine."""
+
+    #: short name used in tables ("TRAF", "GOL", ...)
+    name: str = "abstract"
+    #: suite the paper groups it under
+    suite: str = ""
+    description: str = ""
+    #: the published Table 2 row
+    paper: PaperCharacteristics = PaperCharacteristics(0, 0, 0, 0.0)
+    #: default number of compute iterations for benchmarking
+    default_iterations: int = 3
+
+    def __init__(self, machine: Machine, scale: float = 1.0, seed: int = 7):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.machine = machine
+        self.scale = scale
+        self.seed = seed
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    def _scaled(self, n: int, minimum: int = 32) -> int:
+        return max(minimum, int(n * self.scale))
+
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """Allocate and initialise the object graph (host side)."""
+
+    @abc.abstractmethod
+    def iterate(self) -> None:
+        """Launch the compute kernel(s) for one iteration."""
+
+    @abc.abstractmethod
+    def checksum(self) -> float:
+        """A deterministic digest of the functional result."""
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: Optional[int] = None) -> KernelStats:
+        """Set up once, run ``iterations`` compute iterations.
+
+        Returns the accumulated run statistics -- the measurement the
+        figures are built from.  Setup/initialisation is excluded, like
+        the paper's methodology (kernel time only, via NVProf).
+        """
+        if not self._setup_done:
+            self.setup()
+            self._setup_done = True
+            self.machine.reset_run()  # exclude any setup-time launches
+        for _ in range(iterations or self.default_iterations):
+            self.iterate()
+        return self.machine.run_stats
+
+    # ------------------------------------------------------------------
+    def num_live_objects(self) -> int:
+        return self.machine.allocator.live_count()
+
+    def num_types(self) -> int:
+        """Concrete + abstract types this workload registered."""
+        return len(self.machine.registry)
+
+    def num_vfunc_impls(self) -> int:
+        """Total virtual-function table entries across this workload's types."""
+        return sum(
+            len(t.vtable_impls()) for t in self.machine.registry.all_types()
+        )
+
+
+#: name -> workload class; populated by each workload module at import.
+WORKLOAD_REGISTRY: Dict[str, Callable[..., Workload]] = {}
+
+
+def register_workload(cls):
+    """Class decorator adding a workload to the registry."""
+    WORKLOAD_REGISTRY[cls.name] = cls
+    return cls
+
+
+def workload_names() -> List[str]:
+    """All workload names in the paper's Table 2 order."""
+    order = [
+        "TRAF", "GOL", "STUT", "GEN",
+        "BFS-vE", "CC-vE", "PR-vE",
+        "BFS-vEN", "CC-vEN", "PR-vEN",
+        "RAY",
+    ]
+    return [n for n in order if n in WORKLOAD_REGISTRY] + sorted(
+        set(WORKLOAD_REGISTRY) - set(order)
+    )
+
+
+def make_workload(name: str, machine: Machine, scale: float = 1.0,
+                  seed: int = 7) -> Workload:
+    if name not in WORKLOAD_REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOAD_REGISTRY)}"
+        )
+    return WORKLOAD_REGISTRY[name](machine, scale=scale, seed=seed)

@@ -1,0 +1,160 @@
+"""Shared infrastructure for the cellular-automaton workloads (GOL, GEN).
+
+DynaSOAr's Game-of-Life benchmarks model every grid cell as an object
+whose *concrete type is its state*: when a cell's state changes, the
+old object is destroyed and an object of the new type allocated
+(DynaSOAr's dynamic allocation pattern).  Each iteration:
+
+* ``count`` kernel (virtual): every cell gathers the 8 neighbours'
+  pointers from the grid and reads their ``alive`` member,
+* ``update`` kernel (virtual): each type applies its transition rule,
+  writing the cell's next state,
+* a host-side *retype phase* frees/reallocates cells whose state
+  changed (allocation is excluded from kernel measurements, matching
+  the paper's methodology).
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..runtime.typesystem import TypeDescriptor
+from .base import Workload
+
+
+class CellularAutomaton(Workload):
+    """Common machinery: grid of cell objects with dynamic retyping."""
+
+    GRID_W = 128
+    GRID_H = 128
+    default_iterations = 2
+
+    #: state id -> concrete type; built by subclasses in _make_types
+    state_types: Dict[int, TypeDescriptor]
+
+    # ------------------------------------------------------------------
+    # subclass interface
+    # ------------------------------------------------------------------
+    def _make_types(self) -> None:
+        """Create self.Cell (abstract) and self.state_types."""
+        raise NotImplementedError
+
+    def _initial_states(self, rng) -> np.ndarray:
+        """Initial per-cell state ids."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        m = self.machine
+        rng = np.random.default_rng(self.seed)
+        side_scale = max(0.1, self.scale) ** 0.5
+        self.width = max(16, int(self.GRID_W * side_scale))
+        self.height = max(16, int(self.GRID_H * side_scale))
+        self.n_cells = self.width * self.height
+
+        self._make_types()
+        m.register(*self.state_types.values())
+
+        states = self._initial_states(rng)
+        self.states = states
+        ptrs = np.empty(self.n_cells, dtype=np.uint64)
+        for i in range(self.n_cells):
+            ptrs[i] = self._construct_cell(i, int(states[i]))
+        self.cell_ptrs = ptrs
+        self.grid = m.array_from(ptrs, "u64")
+
+        # neighbour index table (8 per cell, torus wrap), precomputed
+        idx = np.arange(self.n_cells)
+        x = idx % self.width
+        y = idx // self.width
+        self._neighbor_idx = []
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                nx = (x + dx) % self.width
+                ny = (y + dy) % self.height
+                self._neighbor_idx.append((ny * self.width + nx).astype(np.int64))
+
+    def _construct_cell(self, index: int, state: int) -> int:
+        m = self.machine
+        tdesc = self.state_types[state]
+        ptr = m.new_objects(tdesc, 1)[0]
+        c = m.allocator._canonical(int(ptr))
+        lay = m.registry.layout(tdesc)
+        m.heap.store(c + lay.offset("alive"), "u32", 1 if state == 1 else 0)
+        m.heap.store(c + lay.offset("state"), "u32", state)
+        m.heap.store(c + lay.offset("index"), "u32", index)
+        return int(ptr)
+
+    # ------------------------------------------------------------------
+    def iterate(self) -> None:
+        m = self.machine
+        grid, Cell = self.grid, self.Cell
+        neighbor_idx = self._neighbor_idx
+
+        def count_kernel(ctx):
+            ptrs = grid.ld(ctx, ctx.tid)
+            counts = np.zeros(ctx.lane_count, dtype=np.uint32)
+            for nidx in neighbor_idx:
+                nb_ptrs = grid.ld(ctx, nidx[ctx.tid])
+                alive = ctx.load_field(nb_ptrs, Cell, "alive")
+                ctx.alu(1)
+                counts += alive
+            ctx.store_field(ptrs, Cell, "neighbors", counts)
+
+        def update_kernel(ctx):
+            ptrs = grid.ld(ctx, ctx.tid)
+            ctx.vcall(ptrs, Cell, "update")
+
+        m.launch(count_kernel, self.n_cells)
+        m.launch(update_kernel, self.n_cells)
+        self._retype_phase()
+
+    def _retype_phase(self) -> None:
+        """Destroy/recreate cells whose state changed (host side)."""
+        m = self.machine
+        lay = m.registry.layout(self.Cell)
+        off_state = lay.offset("state")
+        changed = 0
+        for i in range(self.n_cells):
+            ptr = int(self.cell_ptrs[i])
+            c = m.allocator._canonical(ptr)
+            new_state = int(m.heap.load(c + off_state, "u32"))
+            if new_state != self.states[i]:
+                m.free_objects([ptr])
+                new_ptr = self._construct_cell(i, new_state)
+                self.cell_ptrs[i] = new_ptr
+                self.grid[i] = new_ptr
+                self.states[i] = new_state
+                changed += 1
+        self._last_retyped = changed
+
+    # ------------------------------------------------------------------
+    def alive_count(self) -> int:
+        return int((self.states == 1).sum())
+
+    def checksum(self) -> float:
+        return float(
+            (self.states.astype(np.int64) * (np.arange(self.n_cells) % 97 + 1)).sum()
+        )
+
+
+def make_cell_base(tag: str) -> TypeDescriptor:
+    """The abstract Agent -> Cell base chain shared by GOL and GEN."""
+    agent = TypeDescriptor(
+        f"Agent#{tag}",
+        methods={"update": None},
+    )
+    cell = TypeDescriptor(
+        f"Cell#{tag}",
+        fields=[
+            ("alive", "u32"),
+            ("state", "u32"),
+            ("neighbors", "u32"),
+            ("index", "u32"),
+        ],
+        base=agent,
+    )
+    return cell

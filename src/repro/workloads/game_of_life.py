@@ -1,0 +1,78 @@
+"""GOL: Conway's Game of Life with per-cell objects (DynaSOAr suite).
+
+Two abstract classes (Agent, Cell) and two concrete states (AliveCell,
+DeadCell) -- 4 types as in Table 2.  State transitions retype the cell
+object (free + allocate), exercising the allocators dynamically.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.typesystem import TypeDescriptor
+from .base import PaperCharacteristics, register_workload
+from .cellular import CellularAutomaton, make_cell_base
+
+STATE_DEAD = 0
+STATE_ALIVE = 1
+
+
+@register_workload
+class GameOfLife(CellularAutomaton):
+    """GOL: Conway's cellular automaton, cells as polymorphic objects."""
+
+    name = "GOL"
+    suite = "Dynasoar"
+    description = "Conway's Game of Life with Cell/Agent class hierarchy"
+    paper = PaperCharacteristics(
+        objects=5645916, types=4, vfuncs=29, vfunc_pki=26.9
+    )
+
+    ALIVE_FRACTION = 0.35
+
+    def _make_types(self) -> None:
+        self.Cell = make_cell_base(f"gol{id(self):x}")
+        Cell = self.Cell
+
+        def alive_update(ctx, objs):
+            n = ctx.load_field(objs, Cell, "neighbors")
+            ctx.alu(3)  # two compares + select
+            survives = (n == 2) | (n == 3)
+            new_state = np.where(survives, STATE_ALIVE, STATE_DEAD)
+            ctx.store_field(objs, Cell, "state", new_state.astype(np.uint32))
+            ctx.store_field(objs, Cell, "alive",
+                            (new_state == STATE_ALIVE).astype(np.uint32))
+
+        def dead_update(ctx, objs):
+            n = ctx.load_field(objs, Cell, "neighbors")
+            ctx.alu(2)  # compare + select
+            born = n == 3
+            new_state = np.where(born, STATE_ALIVE, STATE_DEAD)
+            ctx.store_field(objs, Cell, "state", new_state.astype(np.uint32))
+            ctx.store_field(objs, Cell, "alive",
+                            (new_state == STATE_ALIVE).astype(np.uint32))
+
+        AliveCell = TypeDescriptor(
+            f"AliveCell#gol{id(self):x}", base=Cell,
+            methods={"update": alive_update},
+        )
+        DeadCell = TypeDescriptor(
+            f"DeadCell#gol{id(self):x}", base=Cell,
+            methods={"update": dead_update},
+        )
+        self.state_types = {STATE_ALIVE: AliveCell, STATE_DEAD: DeadCell}
+
+    def _initial_states(self, rng) -> np.ndarray:
+        return (rng.random(self.n_cells) < self.ALIVE_FRACTION).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def reference_step(self, states: np.ndarray) -> np.ndarray:
+        """Pure-numpy Conway step for functional validation."""
+        grid = states.reshape(self.height, self.width)
+        n = sum(
+            np.roll(np.roll(grid, dy, axis=0), dx, axis=1)
+            for dy in (-1, 0, 1)
+            for dx in (-1, 0, 1)
+            if (dx, dy) != (0, 0)
+        )
+        return (((grid == 1) & ((n == 2) | (n == 3))) | ((grid == 0) & (n == 3))
+                ).astype(np.int64).ravel()

@@ -1,0 +1,97 @@
+"""GEN: Generation, the GOL extension with intermediate states.
+
+Cells pass through an extra *dying* state (Brian's-Brain-style rules),
+giving "more complicated scenarios" (Table 2): Agent and Cell abstract
+bases plus Alive/Dying/Dead concrete states.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.typesystem import TypeDescriptor
+from .base import PaperCharacteristics, register_workload
+from .cellular import CellularAutomaton, make_cell_base
+
+STATE_DEAD = 0
+STATE_ALIVE = 1
+STATE_DYING = 2
+
+
+@register_workload
+class Generation(CellularAutomaton):
+    """GEN: three-state cellular automaton with per-cell objects."""
+
+    name = "GEN"
+    suite = "Dynasoar"
+    description = "Generation: Game of Life with intermediate dying states"
+    paper = PaperCharacteristics(
+        objects=1048576, types=4, vfuncs=33, vfunc_pki=29.8
+    )
+
+    ALIVE_FRACTION = 0.25
+
+    def _make_types(self) -> None:
+        self.Cell = make_cell_base(f"gen{id(self):x}")
+        Cell = self.Cell
+
+        def alive_update(ctx, objs):
+            # alive cells always decay to dying
+            ctx.alu(1)
+            n = len(objs)
+            ctx.store_field(objs, Cell, "state",
+                            np.full(n, STATE_DYING, dtype=np.uint32))
+            ctx.store_field(objs, Cell, "alive", np.zeros(n, dtype=np.uint32))
+
+        def dying_update(ctx, objs):
+            # dying cells always die
+            ctx.alu(1)
+            n = len(objs)
+            ctx.store_field(objs, Cell, "state",
+                            np.full(n, STATE_DEAD, dtype=np.uint32))
+            ctx.store_field(objs, Cell, "alive", np.zeros(n, dtype=np.uint32))
+
+        def dead_update(ctx, objs):
+            # dead cells are born when exactly two neighbours are alive
+            neigh = ctx.load_field(objs, Cell, "neighbors")
+            ctx.alu(2)
+            born = neigh == 2
+            new_state = np.where(born, STATE_ALIVE, STATE_DEAD)
+            ctx.store_field(objs, Cell, "state", new_state.astype(np.uint32))
+            ctx.store_field(objs, Cell, "alive",
+                            (new_state == STATE_ALIVE).astype(np.uint32))
+
+        self.state_types = {
+            STATE_ALIVE: TypeDescriptor(
+                f"AliveCell#gen{id(self):x}", base=Cell,
+                methods={"update": alive_update},
+            ),
+            STATE_DYING: TypeDescriptor(
+                f"DyingCell#gen{id(self):x}", base=Cell,
+                methods={"update": dying_update},
+            ),
+            STATE_DEAD: TypeDescriptor(
+                f"DeadCell#gen{id(self):x}", base=Cell,
+                methods={"update": dead_update},
+            ),
+        }
+
+    def _initial_states(self, rng) -> np.ndarray:
+        return np.where(
+            rng.random(self.n_cells) < self.ALIVE_FRACTION, STATE_ALIVE, STATE_DEAD
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def reference_step(self, states: np.ndarray) -> np.ndarray:
+        """Pure-numpy Brian's-Brain-style step for functional validation."""
+        grid = states.reshape(self.height, self.width)
+        alive = (grid == STATE_ALIVE).astype(np.int64)
+        n = sum(
+            np.roll(np.roll(alive, dy, axis=0), dx, axis=1)
+            for dy in (-1, 0, 1)
+            for dx in (-1, 0, 1)
+            if (dx, dy) != (0, 0)
+        )
+        out = np.full_like(grid, STATE_DEAD)
+        out[grid == STATE_ALIVE] = STATE_DYING
+        out[(grid == STATE_DEAD) & (n == 2)] = STATE_ALIVE
+        return out.ravel()

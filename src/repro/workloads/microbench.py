@@ -1,0 +1,146 @@
+"""Scalability microbenchmarks (paper section 8.3, Figure 12).
+
+High-vFuncPKI kernels whose virtual function body is a simple addition
+(no memory traffic inside the body), isolating dispatch cost:
+
+* ``BRANCH`` -- no objects at all: each thread picks its "type" from a
+  register value (tid % T) and branches; the SIMT cost is pure branch
+  divergence.  The idealised lower bound both figures normalise to.
+* object-based variants -- T types of real objects dispatched through
+  whichever technique the machine is configured with (CUDA / COAL /
+  TypePointer in the paper's plots).
+
+Threads scale with objects (one thread per object); the number of
+types accessed *within a warp* is controlled by dealing objects to
+threads round-robin, so ``num_types`` distinct types appear in every
+warp -- the Figure 12b axis.
+"""
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..gpu.machine import Machine
+from ..gpu.stats import KernelStats
+from ..runtime.typesystem import TypeDescriptor
+
+
+def _make_micro_types(tag: str, num_types: int) -> List[TypeDescriptor]:
+    """An abstract base plus ``num_types`` concrete leaf types.
+
+    Every body performs the same payload -- load the object's value,
+    add a per-type constant, store it back -- so the *only* difference
+    between techniques (and the BRANCH baseline, which runs the same
+    payload on a flat array) is the dispatch mechanism itself.
+    """
+    base = TypeDescriptor(
+        f"MicroBase#{tag}",
+        fields=[("value", "u32")],
+        methods={"work": None},
+    )
+
+    leaves = []
+    for k in range(num_types):
+        increment = np.uint32(k + 1)
+
+        def work(ctx, objs, _inc=increment, _base=base):
+            # "the compute inside the function call is a simple addition"
+            v = ctx.load_field(objs, _base, "value")
+            ctx.alu(1)
+            ctx.store_field(objs, _base, "value", v + _inc)
+
+        leaves.append(
+            TypeDescriptor(f"MicroType{k}#{tag}", base=base, methods={"work": work})
+        )
+    return [base] + leaves
+
+
+class ObjectMicrobench:
+    """Virtual-dispatch microbenchmark over a configured machine."""
+
+    def __init__(self, machine: Machine, num_objects: int, num_types: int,
+                 seed: int = 3):
+        if num_types < 1:
+            raise ValueError("num_types must be >= 1")
+        self.machine = machine
+        self.num_objects = num_objects
+        self.num_types = num_types
+        types = _make_micro_types(f"{id(self):x}", num_types)
+        self.base, self.leaves = types[0], types[1:]
+        machine.register(*self.leaves)
+
+        # allocate round-robin over types so each warp sees num_types
+        # distinct types (the Figure 12b axis)
+        ptrs = np.empty(num_objects, dtype=np.uint64)
+        per_type: List[List[int]] = [[] for _ in self.leaves]
+        counts = [0] * num_types
+        for i in range(num_objects):
+            counts[i % num_types] += 1
+        for t, n in enumerate(counts):
+            if n:
+                per_type[t] = list(machine.new_objects(self.leaves[t], n))
+        cursors = [0] * num_types
+        for i in range(num_objects):
+            t = i % num_types
+            ptrs[i] = per_type[t][cursors[t]]
+            cursors[t] += 1
+        self.ptrs = ptrs
+        self.objects = machine.array_from(ptrs, "u64")
+
+    def run(self, iterations: int = 1) -> KernelStats:
+        objects, base = self.objects, self.base
+        machine = self.machine
+        machine.reset_run()
+
+        def kernel(ctx):
+            p = objects.ld(ctx, ctx.tid)
+            ctx.vcall(p, base, "work")
+
+        for _ in range(iterations):
+            machine.launch(kernel, self.num_objects)
+        return machine.run_stats
+
+
+class BranchMicrobench:
+    """The BRANCH baseline: register-arbitrated 'types', no objects.
+
+    Runs the same load/add/store payload as the object variants, but on
+    a flat array indexed by thread id, with the "type" decided from a
+    register value -- control flow without any dispatch memory
+    overhead (paper section 8.3).
+    """
+
+    def __init__(self, machine: Machine, num_threads: int, num_types: int):
+        if num_types < 1:
+            raise ValueError("num_types must be >= 1")
+        self.machine = machine
+        self.num_threads = num_threads
+        self.num_types = num_types
+        self.data = machine.array("u32", num_threads)
+        self.data.write(np.zeros(num_threads, dtype=np.uint32))
+
+    def run(self, iterations: int = 1) -> KernelStats:
+        num_types = self.num_types
+        machine = self.machine
+        data = self.data
+        machine.reset_run()
+
+        def kernel(ctx):
+            # pick the 'type' from a register value: tid % T
+            ctx.alu(1)
+            kinds = ctx.tid % num_types
+            # the SIMT stack executes each taken branch direction once
+            for k in np.unique(kinds):
+                sel = kinds == k
+                sub = ctx.subcontext(sel)
+                sub.alu(1)              # compare
+                sub.ctrl(1)             # branch
+                v = data.ld(sub, sub.tid)
+                sub.alu(1)              # the body: a simple addition
+                data.st(sub, sub.tid, v + np.uint32(int(k) + 1))
+            ctx.ctrl(1)                 # reconvergence
+
+        for _ in range(iterations):
+            machine.launch(kernel, self.num_threads)
+        return machine.run_stats

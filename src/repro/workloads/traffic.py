@@ -1,0 +1,306 @@
+"""TRAF: Nagel-Schreckenberg traffic simulation (DynaSOAr suite).
+
+Streets, cars/trucks, traffic lights and road sensors as polymorphic
+agents on a ring road.  Each iteration runs the two classic NaSch
+kernels through virtual calls:
+
+* ``step_velocity`` -- accelerate, brake to the gap ahead (scanning the
+  occupancy and signal maps), randomised slowdown (per-vehicle LCG),
+* ``step_move`` -- vacate the old cell, advance, claim the new cell;
+  lights toggle their signal, sensors count traffic.
+
+Six types as in Table 2 (abstract RoadAgent and Vehicle; concrete Car,
+Truck, TrafficLight, Sensor).  The synchronous NaSch gap rule keeps
+car positions collision-free -- a tested invariant.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.typesystem import TypeDescriptor
+from .base import PaperCharacteristics, Workload, register_workload
+
+#: Maximum velocities; also the depth of the gap scan.
+CAR_VMAX = 3
+TRUCK_VMAX = 2
+
+_LCG_A = np.uint32(1664525)
+_LCG_C = np.uint32(1013904223)
+
+
+def _lcg_next(state: np.ndarray) -> np.ndarray:
+    return (state * _LCG_A + _LCG_C).astype(np.uint32)
+
+
+class TrafficTypes:
+    """Type hierarchy bound to one Traffic instance (closures need it)."""
+
+    def __init__(self, wl: "Traffic"):
+        road = wl  # closed over by the method implementations
+
+        def vehicle_velocity(ctx, objs, vmax):
+            base = road.RoadAgent
+            pos = ctx.load_field(objs, base, "pos")
+            vel = ctx.load_field(objs, road.Vehicle, "vel")
+            rnd = ctx.load_field(objs, road.Vehicle, "rand_state")
+            ctx.alu(2)  # accelerate: min(v+1, vmax)
+            vel = np.minimum(vel + 1, vmax).astype(np.uint32)
+            # gap scan: nearest blocked cell among the next vmax cells
+            length = np.uint32(road.length)
+            gap = np.full(len(pos), vmax, dtype=np.uint32)
+            for k in range(vmax, 0, -1):
+                ahead = (pos + np.uint32(k)) % length
+                occ = road.occupancy.ld(ctx, ahead)
+                sig = road.signals.ld(ctx, ahead)
+                ctx.alu(2)  # blocked test + gap select
+                blocked = (occ != 0) | (sig != 0)
+                gap = np.where(blocked, k - 1, gap).astype(np.uint32)
+            ctx.alu(1)
+            vel = np.minimum(vel, gap).astype(np.uint32)
+            # random slowdown with probability 1/8 (per-vehicle LCG)
+            rnd = _lcg_next(rnd)
+            ctx.alu(3)
+            slow = ((rnd >> np.uint32(16)) & np.uint32(7)) == 0
+            vel = np.where(slow & (vel > 0), vel - 1, vel).astype(np.uint32)
+            ctx.store_field(objs, road.Vehicle, "vel", vel)
+            ctx.store_field(objs, road.Vehicle, "rand_state", rnd)
+
+        def car_velocity(ctx, objs):
+            vehicle_velocity(ctx, objs, CAR_VMAX)
+
+        def truck_velocity(ctx, objs):
+            vehicle_velocity(ctx, objs, TRUCK_VMAX)
+
+        def vehicle_move(ctx, objs):
+            base = road.RoadAgent
+            pos = ctx.load_field(objs, base, "pos")
+            vel = ctx.load_field(objs, road.Vehicle, "vel")
+            ctx.alu(2)
+            new_pos = ((pos + vel) % np.uint32(road.length)).astype(np.uint32)
+            road.occupancy.st(ctx, pos, np.zeros(len(pos), dtype=np.uint32))
+            road.occupancy.st(ctx, new_pos, np.ones(len(pos), dtype=np.uint32))
+            ctx.store_field(objs, base, "pos", new_pos)
+
+        def light_velocity(ctx, objs):
+            # lights do no velocity work; they still pay the dispatch
+            ctx.alu(1)
+
+        def light_move(ctx, objs):
+            base = road.RoadAgent
+            pos = ctx.load_field(objs, base, "pos")
+            timer = ctx.load_field(objs, road.TrafficLight, "timer")
+            period = ctx.load_field(objs, road.TrafficLight, "period")
+            phase = ctx.load_field(objs, road.TrafficLight, "phase")
+            ctx.alu(3)
+            timer = (timer + 1).astype(np.uint32)
+            flip = timer % period == 0
+            phase = np.where(flip, 1 - phase, phase).astype(np.uint32)
+            road.signals.st(ctx, pos, phase)
+            ctx.store_field(objs, road.TrafficLight, "timer", timer)
+            ctx.store_field(objs, road.TrafficLight, "phase", phase)
+
+        def sensor_velocity(ctx, objs):
+            ctx.alu(1)
+
+        def sensor_move(ctx, objs):
+            base = road.RoadAgent
+            pos = ctx.load_field(objs, base, "pos")
+            occ = road.occupancy.ld(ctx, pos)
+            count = ctx.load_field(objs, road.Sensor, "count")
+            ctx.alu(1)
+            ctx.store_field(objs, road.Sensor, "count",
+                            (count + occ).astype(np.uint32))
+
+        self.RoadAgent = TypeDescriptor(
+            f"RoadAgent#{id(wl):x}",
+            fields=[("pos", "u32")],
+            methods={"step_velocity": None, "step_move": None},
+        )
+        self.Vehicle = TypeDescriptor(
+            f"Vehicle#{id(wl):x}",
+            fields=[("vel", "u32"), ("rand_state", "u32"), ("dist", "u32")],
+            base=self.RoadAgent,
+        )
+        self.Car = TypeDescriptor(
+            f"Car#{id(wl):x}",
+            base=self.Vehicle,
+            methods={"step_velocity": car_velocity, "step_move": vehicle_move},
+        )
+        self.Truck = TypeDescriptor(
+            f"Truck#{id(wl):x}",
+            fields=[("cargo", "u32")],
+            base=self.Vehicle,
+            methods={"step_velocity": truck_velocity, "step_move": vehicle_move},
+        )
+        self.TrafficLight = TypeDescriptor(
+            f"TrafficLight#{id(wl):x}",
+            fields=[("timer", "u32"), ("period", "u32"), ("phase", "u32")],
+            base=self.RoadAgent,
+            methods={"step_velocity": light_velocity, "step_move": light_move},
+        )
+        self.Sensor = TypeDescriptor(
+            f"Sensor#{id(wl):x}",
+            fields=[("count", "u32")],
+            base=self.RoadAgent,
+            methods={"step_velocity": sensor_velocity, "step_move": sensor_move},
+        )
+
+
+@register_workload
+class Traffic(Workload):
+    """TRAF: Nagel-Schreckenberg model with polymorphic road agents."""
+
+    name = "TRAF"
+    suite = "Dynasoar"
+    description = ("Nagel-Schreckenberg traffic flow over streets, cars "
+                   "and traffic lights")
+    paper = PaperCharacteristics(
+        objects=1573714, types=6, vfuncs=74, vfunc_pki=30.6
+    )
+    default_iterations = 3
+
+    # default (scale=1.0) sizes
+    ROAD_LENGTH = 16384
+    NUM_CARS = 2400
+    NUM_TRUCKS = 800
+    NUM_LIGHTS = 96
+    NUM_SENSORS = 96
+
+    def setup(self) -> None:
+        m = self.machine
+        rng = np.random.default_rng(self.seed)
+        self.length = self._scaled(self.ROAD_LENGTH, minimum=256)
+        n_cars = self._scaled(self.NUM_CARS)
+        n_trucks = self._scaled(self.NUM_TRUCKS)
+        n_lights = self._scaled(self.NUM_LIGHTS, minimum=4)
+        n_sensors = self._scaled(self.NUM_SENSORS, minimum=4)
+
+        t = TrafficTypes(self)
+        self.RoadAgent, self.Vehicle = t.RoadAgent, t.Vehicle
+        self.Car, self.Truck = t.Car, t.Truck
+        self.TrafficLight, self.Sensor = t.TrafficLight, t.Sensor
+        m.register(self.Car, self.Truck, self.TrafficLight, self.Sensor)
+
+        self.occupancy = m.array("u32", self.length)
+        self.occupancy.write(np.zeros(self.length, dtype=np.uint32))
+        self.signals = m.array("u32", self.length)
+        self.signals.write(np.zeros(self.length, dtype=np.uint32))
+
+        # distinct starting cells for all agents
+        cells = rng.choice(
+            self.length, size=n_cars + n_trucks + n_lights + n_sensors,
+            replace=False,
+        ).astype(np.uint32)
+        car_pos = cells[:n_cars]
+        truck_pos = cells[n_cars:n_cars + n_trucks]
+        light_pos = cells[n_cars + n_trucks:n_cars + n_trucks + n_lights]
+        sensor_pos = cells[n_cars + n_trucks + n_lights:]
+
+        # allocation interleaves types, as real construction code does
+        ptrs = []
+        kinds = (["car"] * n_cars + ["truck"] * n_trucks
+                 + ["light"] * n_lights + ["sensor"] * n_sensors)
+        rng.shuffle(kinds)
+        it_car = iter(car_pos)
+        it_truck = iter(truck_pos)
+        it_light = iter(light_pos)
+        it_sensor = iter(sensor_pos)
+        heap = m.heap
+        occ = self.occupancy
+        for kind in kinds:
+            if kind == "car":
+                p = m.new_objects(self.Car, 1)[0]
+                self._init_vehicle(p, next(it_car), rng)
+                occ[int(self._field_addr_index(p))] = 1
+            elif kind == "truck":
+                p = m.new_objects(self.Truck, 1)[0]
+                self._init_vehicle(p, next(it_truck), rng)
+                occ[int(self._field_addr_index(p))] = 1
+            elif kind == "light":
+                p = m.new_objects(self.TrafficLight, 1)[0]
+                c = m.allocator._canonical(int(p))
+                lay = m.registry.layout(self.TrafficLight)
+                heap.store(c + lay.offset("pos"), "u32", int(next(it_light)))
+                heap.store(c + lay.offset("period"), "u32",
+                           int(8 + rng.integers(8)))
+                heap.store(c + lay.offset("phase"), "u32", 0)
+            else:
+                p = m.new_objects(self.Sensor, 1)[0]
+                c = m.allocator._canonical(int(p))
+                lay = m.registry.layout(self.Sensor)
+                heap.store(c + lay.offset("pos"), "u32", int(next(it_sensor)))
+            ptrs.append(p)
+
+        # DynaSOAr-style do-all enumeration: the processing array groups
+        # objects by type (each group in allocation order), even though
+        # construction interleaved the types on the heap.  Thread i of a
+        # group therefore touches the i-th *allocated* object of that
+        # type -- contiguous under SharedOA, scattered under CUDA.
+        by_kind = {"car": [], "truck": [], "light": [], "sensor": []}
+        for p, k in zip(ptrs, kinds):
+            by_kind[k].append(p)
+        ordered = (by_kind["car"] + by_kind["truck"]
+                   + by_kind["light"] + by_kind["sensor"])
+        self.agent_ptrs = np.array(ordered, dtype=np.uint64)
+        self.agents = m.array_from(self.agent_ptrs, "u64")
+        self.num_agents = len(ordered)
+        self._vehicle_ptrs = np.array(
+            by_kind["car"] + by_kind["truck"], dtype=np.uint64
+        )
+
+    # ------------------------------------------------------------------
+    def _init_vehicle(self, ptr, pos, rng) -> None:
+        m = self.machine
+        c = m.allocator._canonical(int(ptr))
+        lay = m.registry.layout(self.Vehicle)
+        m.heap.store(c + lay.offset("pos"), "u32", int(pos))
+        m.heap.store(c + lay.offset("vel"), "u32", int(rng.integers(1, 3)))
+        m.heap.store(c + lay.offset("rand_state"), "u32",
+                     int(rng.integers(1, 2**32 - 1)))
+
+    def _field_addr_index(self, ptr) -> int:
+        m = self.machine
+        c = m.allocator._canonical(int(ptr))
+        return int(
+            m.heap.load(c + m.registry.layout(self.Vehicle).offset("pos"), "u32")
+        )
+
+    # ------------------------------------------------------------------
+    def iterate(self) -> None:
+        agents, RoadAgent = self.agents, self.RoadAgent
+
+        def velocity_kernel(ctx):
+            ptrs = agents.ld(ctx, ctx.tid)
+            ctx.vcall(ptrs, RoadAgent, "step_velocity")
+
+        def move_kernel(ctx):
+            ptrs = agents.ld(ctx, ctx.tid)
+            ctx.vcall(ptrs, RoadAgent, "step_move")
+
+        self.machine.launch(velocity_kernel, self.num_agents)
+        self.machine.launch(move_kernel, self.num_agents)
+
+    # ------------------------------------------------------------------
+    def vehicle_positions(self) -> np.ndarray:
+        m = self.machine
+        lay = m.registry.layout(self.Vehicle)
+        out = np.empty(len(self._vehicle_ptrs), dtype=np.uint32)
+        for i, p in enumerate(self._vehicle_ptrs):
+            c = m.allocator._canonical(int(p))
+            out[i] = m.heap.load(c + lay.offset("pos"), "u32")
+        return out
+
+    def checksum(self) -> float:
+        m = self.machine
+        lay = m.registry.layout(self.Vehicle)
+        total = 0
+        for p in self._vehicle_ptrs:
+            c = m.allocator._canonical(int(p))
+            total += int(m.heap.load(c + lay.offset("pos"), "u32"))
+            total += 7 * int(m.heap.load(c + lay.offset("vel"), "u32"))
+        sensor_lay = m.registry.layout(self.Sensor)
+        for p in self.agent_ptrs:
+            if m.allocator.owner_type(int(p)) is self.Sensor:
+                c = m.allocator._canonical(int(p))
+                total += 13 * int(m.heap.load(c + sensor_lay.offset("count"), "u32"))
+        return float(total)

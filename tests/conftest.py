@@ -1,0 +1,100 @@
+"""Shared fixtures: small machines and a simple type hierarchy."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Machine, TypeDescriptor
+from repro.gpu.config import small_config
+from repro.memory.heap import Heap
+
+#: All techniques the paper evaluates (plus our prototype variants).
+ALL_TECHNIQUES = (
+    "cuda", "concord", "sharedoa", "coal", "typepointer",
+    "typepointer_proto", "typepointer_indexed", "tp_on_cuda",
+)
+
+FIG6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
+
+
+@pytest.fixture
+def heap():
+    return Heap(capacity=1 << 20)
+
+
+@pytest.fixture
+def machine_factory():
+    """Factory for small machines: machine_factory('coal')."""
+
+    def make(technique: str = "cuda", **kwargs) -> Machine:
+        kwargs.setdefault("config", small_config())
+        return Machine(technique, **kwargs)
+
+    return make
+
+
+class AnimalHierarchy:
+    """A tiny polymorphic hierarchy used across dispatch tests.
+
+    Dog.speak adds 1 to ``age``; Cat.speak adds 2; Puppy (a subclass of
+    Dog) overrides speak to add 10 and also overrides ``legs``.
+    """
+
+    def __init__(self, tag: str):
+        h = self
+
+        def dog_speak(ctx, objs):
+            age = ctx.load_field(objs, h.Animal, "age")
+            ctx.alu(1)
+            ctx.store_field(objs, h.Animal, "age", age + np.uint32(1))
+
+        def cat_speak(ctx, objs):
+            age = ctx.load_field(objs, h.Animal, "age")
+            ctx.alu(1)
+            ctx.store_field(objs, h.Animal, "age", age + np.uint32(2))
+
+        def puppy_speak(ctx, objs):
+            age = ctx.load_field(objs, h.Animal, "age")
+            ctx.alu(1)
+            ctx.store_field(objs, h.Animal, "age", age + np.uint32(10))
+
+        def legs4(ctx, objs):
+            return np.full(len(objs), 4, dtype=np.uint32)
+
+        def legs3(ctx, objs):
+            # puppies in this test universe have 3 legs (distinguishable)
+            return np.full(len(objs), 3, dtype=np.uint32)
+
+        self.Animal = TypeDescriptor(
+            f"Animal#{tag}",
+            fields=[("age", "u32"), ("weight", "f32")],
+            methods={"speak": None, "legs": None},
+        )
+        self.Dog = TypeDescriptor(
+            f"Dog#{tag}", base=self.Animal,
+            methods={"speak": dog_speak, "legs": legs4},
+        )
+        self.Cat = TypeDescriptor(
+            f"Cat#{tag}", base=self.Animal,
+            methods={"speak": cat_speak, "legs": legs4},
+        )
+        self.Puppy = TypeDescriptor(
+            f"Puppy#{tag}", fields=[("toys", "u32")], base=self.Dog,
+            methods={"speak": puppy_speak, "legs": legs3},
+        )
+
+
+_counter = [0]
+
+
+@pytest.fixture
+def animals():
+    """A fresh AnimalHierarchy with unique type names per test."""
+    _counter[0] += 1
+    return AnimalHierarchy(f"t{_counter[0]}")
+
+
+def read_age(machine: Machine, hierarchy, ptr) -> int:
+    c = machine.allocator._canonical(int(ptr))
+    off = machine.registry.layout(hierarchy.Animal).offset("age")
+    return int(machine.heap.load(c + off, "u32"))

@@ -1,0 +1,133 @@
+"""Unit + property tests for the 49-bit VA space and tag helpers."""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address_space import (
+    ADDR_MASK,
+    MAX_TAG,
+    TAG_BITS,
+    VA_BITS,
+    align_up,
+    decode_tag,
+    decode_tag_array,
+    encode_tag,
+    has_tag_array,
+    is_canonical,
+    strip_tag,
+    strip_tag_array,
+)
+
+
+def test_constants_match_paper():
+    # 64-bit values represent a 49-bit virtual address (section 1)
+    assert VA_BITS == 49
+    assert TAG_BITS == 15
+    # 15 bits encode up to 32K distinct offsets (section 6.1)
+    assert MAX_TAG == (1 << 15) - 1
+
+
+def test_encode_decode_roundtrip_scalar():
+    ptr = encode_tag(0x1234_5678, 0x42)
+    assert decode_tag(ptr) == 0x42
+    assert strip_tag(ptr) == 0x1234_5678
+
+
+def test_encode_rejects_tagged_address():
+    tagged = encode_tag(100, 1)
+    with pytest.raises(ValueError):
+        encode_tag(tagged, 2)
+
+
+def test_encode_rejects_oversized_tag():
+    with pytest.raises(ValueError):
+        encode_tag(100, MAX_TAG + 1)
+    with pytest.raises(ValueError):
+        encode_tag(100, -1)
+
+
+def test_is_canonical():
+    assert is_canonical(0)
+    assert is_canonical(ADDR_MASK)
+    assert not is_canonical(ADDR_MASK + 1)
+    assert not is_canonical(encode_tag(5, 1))
+
+
+def test_zero_tag_is_identity():
+    assert encode_tag(0xABC, 0) == 0xABC
+    assert decode_tag(0xABC) == 0
+
+
+def test_array_helpers_match_scalar():
+    addrs = [0x10, 0xFF00, ADDR_MASK]
+    tags = [0, 7, MAX_TAG]
+    ptrs = np.array(
+        [encode_tag(a, t) for a, t in zip(addrs, tags)], dtype=np.uint64
+    )
+    np.testing.assert_array_equal(
+        strip_tag_array(ptrs), np.array(addrs, dtype=np.uint64)
+    )
+    np.testing.assert_array_equal(
+        decode_tag_array(ptrs), np.array(tags, dtype=np.uint64)
+    )
+    np.testing.assert_array_equal(
+        has_tag_array(ptrs), np.array([False, True, True])
+    )
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=ADDR_MASK),
+    tag=st.integers(min_value=0, max_value=MAX_TAG),
+)
+def test_roundtrip_property(addr, tag):
+    ptr = encode_tag(addr, tag)
+    assert decode_tag(ptr) == tag
+    assert strip_tag(ptr) == addr
+    assert 0 <= ptr < 2**64
+
+
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=ADDR_MASK),
+                   min_size=1, max_size=32),
+    tags=st.lists(st.integers(min_value=0, max_value=MAX_TAG),
+                  min_size=1, max_size=32),
+)
+def test_array_roundtrip_property(addrs, tags):
+    n = min(len(addrs), len(tags))
+    ptrs = np.array(
+        [encode_tag(a, t) for a, t in zip(addrs[:n], tags[:n])],
+        dtype=np.uint64,
+    )
+    np.testing.assert_array_equal(
+        strip_tag_array(ptrs), np.array(addrs[:n], dtype=np.uint64)
+    )
+    np.testing.assert_array_equal(
+        decode_tag_array(ptrs), np.array(tags[:n], dtype=np.uint64)
+    )
+
+
+def test_align_up():
+    assert align_up(0, 8) == 0
+    assert align_up(1, 8) == 8
+    assert align_up(8, 8) == 8
+    assert align_up(9, 16) == 16
+    assert align_up(17, 16) == 32
+
+
+def test_align_up_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        align_up(5, 3)
+    with pytest.raises(ValueError):
+        align_up(5, 0)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=1 << 50),
+    shift=st.integers(min_value=0, max_value=12),
+)
+def test_align_up_property(value, shift):
+    alignment = 1 << shift
+    out = align_up(value, alignment)
+    assert out >= value
+    assert out % alignment == 0
+    assert out - value < alignment

@@ -1,0 +1,152 @@
+"""Tests for the CUDA-like allocator and the TypePointer wrapper."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DoubleFree, TypeTagOverflow
+from repro.memory.address_space import MAX_TAG, decode_tag, strip_tag
+from repro.memory.cuda_allocator import HEADER_PAD, CudaHeapAllocator
+from repro.memory.heap import Heap
+from repro.memory.typepointer_alloc import TypePointerAllocator
+
+
+@pytest.fixture
+def cuda_alloc(heap):
+    return CudaHeapAllocator(heap)
+
+
+class TestCudaAllocator:
+    def test_allocations_do_not_overlap(self, cuda_alloc):
+        ptrs = [cuda_alloc.alloc_object("T", 24) for _ in range(200)]
+        spans = sorted((p, p + 24) for p in ptrs)
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_padding_between_objects(self, cuda_alloc):
+        # paper 8.2: the CUDA allocator pads between allocations
+        assert cuda_alloc.size_class(24) >= 24 + HEADER_PAD
+
+    def test_consecutive_allocations_scatter(self, cuda_alloc):
+        # consecutive device-side allocations land in different arenas
+        a = cuda_alloc.alloc_object("T", 24)
+        b = cuda_alloc.alloc_object("T", 24)
+        assert abs(b - a) > 1024
+
+    def test_free_and_reuse(self, cuda_alloc):
+        a = cuda_alloc.alloc_object("T", 24)
+        cuda_alloc.free_object(a)
+        # same size class reuses the freed slot
+        ptrs = [cuda_alloc.alloc_object("T", 24) for _ in range(10)]
+        assert a in ptrs
+
+    def test_double_free_raises(self, cuda_alloc):
+        a = cuda_alloc.alloc_object("T", 24)
+        cuda_alloc.free_object(a)
+        with pytest.raises(DoubleFree):
+            cuda_alloc.free_object(a)
+
+    def test_free_unknown_raises(self, cuda_alloc):
+        with pytest.raises(DoubleFree):
+            cuda_alloc.free_object(0x123456)
+
+    def test_owner_type_tracking(self, cuda_alloc):
+        a = cuda_alloc.alloc_object("A", 16)
+        b = cuda_alloc.alloc_object("B", 16)
+        assert cuda_alloc.owner_type(a) == "A"
+        assert cuda_alloc.owner_type(b) == "B"
+        cuda_alloc.free_object(a)
+        assert cuda_alloc.owner_type(a) is None
+
+    def test_live_count_and_stats(self, cuda_alloc):
+        ptrs = [cuda_alloc.alloc_object("T", 32) for _ in range(5)]
+        assert cuda_alloc.live_count() == 5
+        assert cuda_alloc.stats.live_bytes == 160
+        cuda_alloc.free_object(ptrs[0])
+        assert cuda_alloc.live_count() == 4
+        assert cuda_alloc.stats.frees == 1
+
+    def test_rejects_nonpositive_size(self, cuda_alloc):
+        with pytest.raises(ValueError):
+            cuda_alloc.alloc_object("T", 0)
+
+    def test_alloc_raw_disjoint_from_objects(self, cuda_alloc):
+        obj = cuda_alloc.alloc_object("T", 64)
+        raw = cuda_alloc.alloc_raw(256)
+        assert raw >= obj + 64 or raw + 256 <= obj
+
+    def test_modeled_alloc_cost_is_expensive(self, cuda_alloc):
+        # the device-side new of section 8.2 pays a large per-call cost
+        cuda_alloc.alloc_object("T", 16)
+        assert cuda_alloc.stats.modeled_alloc_cycles >= 1000
+
+    def test_internal_fragmentation_reported(self, cuda_alloc):
+        from repro.memory.fragmentation import measure
+
+        for _ in range(50):
+            cuda_alloc.alloc_object("T", 20)
+        report = measure(cuda_alloc)
+        assert report.internal_fragmentation > 0
+
+    @given(sizes=st.lists(st.integers(1, 200), min_size=1, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_no_overlap_property(self, sizes):
+        heap = Heap(capacity=1 << 20)
+        alloc = CudaHeapAllocator(heap)
+        spans = []
+        for i, s in enumerate(sizes):
+            p = alloc.alloc_object(f"T{i % 3}", s)
+            spans.append((p, p + s))
+        spans.sort()
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+
+class TestTypePointerAllocator:
+    def _make(self, heap, inner_cls=CudaHeapAllocator, tags=None):
+        tags = tags or {"A": 64, "B": 128}
+        inner = inner_cls(heap)
+        return TypePointerAllocator(inner, lambda t: tags[t])
+
+    def test_pointer_carries_tag(self, heap):
+        alloc = self._make(heap)
+        p = alloc.alloc_object("A", 32)
+        assert decode_tag(p) == 64
+        q = alloc.alloc_object("B", 32)
+        assert decode_tag(q) == 128
+
+    def test_free_accepts_tagged_pointer(self, heap):
+        alloc = self._make(heap)
+        p = alloc.alloc_object("A", 32)
+        alloc.free_object(p)
+        assert alloc.live_count() == 0
+
+    def test_owner_type_via_tagged_pointer(self, heap):
+        alloc = self._make(heap)
+        p = alloc.alloc_object("A", 32)
+        assert alloc.owner_type(p) == "A"
+
+    def test_tag_overflow_raises(self, heap):
+        alloc = self._make(heap, tags={"A": MAX_TAG + 1})
+        with pytest.raises(TypeTagOverflow):
+            alloc.alloc_object("A", 32)
+
+    def test_canonical_address_is_inner_placement(self, heap):
+        alloc = self._make(heap)
+        p = alloc.alloc_object("A", 32)
+        canonical = strip_tag(p)
+        assert alloc.inner.owner_type(canonical) == "A"
+
+    def test_stats_shared_with_inner(self, heap):
+        alloc = self._make(heap)
+        alloc.alloc_object("A", 32)
+        assert alloc.stats is alloc.inner.stats
+        assert alloc.stats.allocations == 1
+
+    def test_wraps_sharedoa_and_exposes_ranges(self, heap):
+        from repro.memory.shared_oa import SharedOAAllocator
+
+        inner = SharedOAAllocator(heap, initial_chunk_objects=8)
+        alloc = TypePointerAllocator(inner, lambda t: 64)
+        alloc.alloc_object("A", 32)
+        assert len(alloc.ranges()) == 1
+        assert alloc.range_table_version == inner.range_table_version

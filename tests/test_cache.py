@@ -1,0 +1,180 @@
+"""Tests for the sectored caches and the hierarchy (incl. DRAM rows)."""
+import pytest
+
+from repro.gpu.cache import MemoryHierarchy, SectoredCache
+from repro.gpu.config import CacheGeometry, GPUConfig, small_config
+
+
+@pytest.fixture
+def tiny_cache():
+    # 2 sets x 2 ways x 128B lines = 512B
+    return SectoredCache(CacheGeometry(size_bytes=512, assoc=2))
+
+
+class TestSectoredCache:
+    def test_cold_miss_then_hit(self, tiny_cache):
+        assert tiny_cache.access(0, 0b0001) == 0b0001   # miss
+        assert tiny_cache.access(0, 0b0001) == 0        # hit
+        assert tiny_cache.accesses == 2
+        assert tiny_cache.hits == 1
+
+    def test_sector_miss_on_resident_line(self, tiny_cache):
+        tiny_cache.access(0, 0b0001)
+        missed = tiny_cache.access(0, 0b0110)   # two new sectors
+        assert missed == 0b0110
+        # now everything present
+        assert tiny_cache.access(0, 0b0111) == 0
+
+    def test_hits_plus_misses_equals_accesses(self, tiny_cache):
+        import random
+
+        rng = random.Random(3)
+        misses = 0
+        for _ in range(200):
+            line = rng.randrange(16) * 128
+            mask = rng.randrange(1, 16)
+            missed = tiny_cache.access(line, mask)
+            misses += bin(missed).count("1")
+        assert tiny_cache.hits + misses == tiny_cache.accesses
+
+    def test_lru_eviction(self, tiny_cache):
+        # set 0 holds lines 0 and 256 (2 ways); touching 512 evicts LRU=0
+        tiny_cache.access(0, 1)
+        tiny_cache.access(256, 1)
+        tiny_cache.access(256, 1)       # line 0 is now LRU
+        tiny_cache.access(512, 1)       # evicts line 0
+        assert tiny_cache.access(256, 1) == 0      # survived
+        assert tiny_cache.access(0, 1) == 1        # was evicted
+
+    def test_lru_updated_on_hit(self, tiny_cache):
+        tiny_cache.access(0, 1)
+        tiny_cache.access(256, 1)
+        tiny_cache.access(0, 1)         # refresh line 0
+        tiny_cache.access(512, 1)       # evicts 256, not 0
+        assert tiny_cache.access(0, 1) == 0
+
+    def test_no_allocate_mode(self, tiny_cache):
+        tiny_cache.access(0, 1, allocate=False)
+        assert tiny_cache.access(0, 1) == 1   # still a miss
+
+    def test_invalidate(self, tiny_cache):
+        tiny_cache.access(0, 0b1111)
+        tiny_cache.invalidate()
+        assert tiny_cache.access(0, 0b0001) == 0b0001
+
+    def test_resident_lines(self, tiny_cache):
+        tiny_cache.access(0, 1)
+        tiny_cache.access(128, 1)
+        assert tiny_cache.resident_lines() == 2
+
+    def test_hit_rate(self, tiny_cache):
+        assert tiny_cache.hit_rate == 0.0
+        tiny_cache.access(0, 1)
+        tiny_cache.access(0, 1)
+        assert tiny_cache.hit_rate == pytest.approx(0.5)
+
+
+class TestGeometryValidation:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=100, assoc=2)
+
+    def test_bad_assoc(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=512, assoc=3)
+
+    def test_derived_counts(self):
+        g = CacheGeometry(size_bytes=64 * 1024, assoc=4)
+        assert g.num_lines == 512
+        assert g.num_sets == 128
+        assert g.sectors_per_line == 4
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def hier(self):
+        return MemoryHierarchy(small_config())
+
+    def test_load_path_accounting(self, hier):
+        l1, l2, dram = hier.load(0, 0, 0b0011)
+        assert (l1, l2, dram) == (0, 0, 2)
+        l1, l2, dram = hier.load(0, 0, 0b0011)
+        assert (l1, l2, dram) == (2, 0, 0)
+
+    def test_l2_shared_between_sms(self, hier):
+        hier.load(0, 0, 0b0001)          # SM0 pulls into L2
+        l1, l2, dram = hier.load(1, 0, 0b0001)  # SM1: L1 miss, L2 hit
+        assert (l1, l2, dram) == (0, 1, 0)
+
+    def test_l1_private_per_sm(self, hier):
+        hier.load(0, 0, 0b0001)
+        l1, _, _ = hier.load(1, 0, 0b0001)
+        assert l1 == 0
+
+    def test_store_write_through(self, hier):
+        hier.store(0, 0, 0b0001)
+        # the store allocated in L2 but not L1
+        l1, l2, dram = hier.load(0, 0, 0b0001)
+        assert l1 == 0 and l2 == 1 and dram == 0
+
+    def test_store_updates_resident_l1_line(self, hier):
+        hier.load(0, 0, 0b0001)
+        hier.store(0, 0, 0b0010)   # store hit extends the line
+        l1, _, _ = hier.load(0, 0, 0b0010)
+        assert l1 == 1
+
+    def test_l1_totals(self, hier):
+        hier.load(0, 0, 0b0001)
+        hier.load(1, 128, 0b0001)
+        acc, hits = hier.l1_totals()
+        assert acc == 2 and hits == 0
+
+    def test_reset_stats_keeps_contents(self, hier):
+        hier.load(0, 0, 0b0001)
+        hier.reset_stats()
+        assert hier.dram_accesses == 0
+        l1, _, _ = hier.load(0, 0, 0b0001)
+        assert l1 == 1  # contents survived
+
+
+class TestDRAMRows:
+    @pytest.fixture
+    def hier(self):
+        return MemoryHierarchy(small_config())
+
+    def test_streaming_hits_open_row(self, hier):
+        cfg = small_config()
+        # consecutive lines in one row: first access misses, rest hit
+        for i in range(8):
+            hier.load(0, i * 128, 0b1111)
+        assert hier.dram_row_misses == 1
+        assert hier.dram_row_hits == 7
+
+    def test_scattered_accesses_miss_rows(self, hier):
+        row = small_config().dram_row_bytes
+        banks = small_config().dram_num_banks
+        stride = row * banks  # same bank, different rows every time
+        for i in range(8):
+            hier.load(0, i * stride, 0b0001)
+        assert hier.dram_row_misses == 8
+        assert hier.dram_row_hits == 0
+
+    def test_rows_in_different_banks_stay_open(self, hier):
+        row = small_config().dram_row_bytes
+        # alternate between two banks: both rows stay open
+        for _ in range(4):
+            hier.load(0, 0, 0b0001)
+            hier.load(0, row, 0b0001)
+        # after the cold pass everything hits in cache, so force misses
+        # by touching new sectors each time
+        hier.reset_stats()
+        for i in range(1, 4):
+            hier.load(0, i * 128, 0b0001)            # bank 0, row 0
+            hier.load(0, row + i * 128, 0b0001)      # bank 1, row 1
+        assert hier.dram_row_misses == 0
+
+    def test_cache_hits_do_not_touch_dram_rows(self, hier):
+        hier.load(0, 0, 0b0001)
+        before = hier.dram_row_misses + hier.dram_row_hits
+        hier.load(0, 0, 0b0001)  # L1 hit
+        assert hier.dram_row_misses + hier.dram_row_hits == before

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_disasm(capsys):
+    assert main(["disasm", "typepointer"]) == 0
+    out = capsys.readouterr().out
+    assert "SHR" in out and "CALL" in out
+
+
+def test_disasm_concord(capsys):
+    assert main(["disasm", "concord"]) == 0
+    assert "CALL" not in capsys.readouterr().out
+
+
+def test_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figZZZ"])
+
+
+def test_small_experiment_runs(capsys):
+    assert main(["fig1", "--scale", "0.04"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1b" in out
+    assert "load vTable*" in out
+
+
+def test_init_experiment(capsys):
+    assert main(["init"]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_experiment_registry_complete():
+    # every paper table/figure id has a CLI entry
+    for required in ("fig1", "table1", "table2", "fig6", "fig7", "fig8",
+                     "fig9", "fig10", "fig11", "fig12a", "fig12b", "init"):
+        assert required in EXPERIMENTS

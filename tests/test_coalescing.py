@@ -1,0 +1,119 @@
+"""Tests for the memory-access coalescer."""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.coalescing import (
+    LINE_BYTES,
+    SECTOR_BYTES,
+    coalesce,
+    count_sectors,
+    sector_addresses,
+)
+
+
+def _addrs(*vals):
+    return np.array(vals, dtype=np.uint64)
+
+
+def test_converged_access_is_one_transaction():
+    # all 32 lanes load the same word: 1 sector (op B of Figure 1)
+    txns = coalesce(np.full(32, 0x1000, dtype=np.uint64), 8)
+    assert len(txns) == 1
+    assert txns[0].num_sectors == 1
+
+
+def test_fully_diverged_access_is_32_sectors():
+    # each lane in its own sector (op A of Figure 1, scattered objects)
+    addrs = np.arange(32, dtype=np.uint64) * 256 + 0x1000
+    assert count_sectors(addrs, 8) == 32
+
+
+def test_unit_stride_u32_coalesces():
+    # 32 consecutive u32s span 128B = 4 sectors
+    addrs = np.arange(32, dtype=np.uint64) * 4
+    assert count_sectors(addrs, 4) == 4
+
+
+def test_unit_stride_u64_coalesces():
+    addrs = np.arange(32, dtype=np.uint64) * 8
+    assert count_sectors(addrs, 8) == 8
+
+
+def test_stride_two_wastes_bandwidth():
+    # 64B stride: one sector per lane touched, none shared
+    addrs = np.arange(32, dtype=np.uint64) * 64
+    assert count_sectors(addrs, 4) == 32
+
+
+def test_sector_straddling_access():
+    # an 8-byte load at offset 28 touches two sectors
+    assert count_sectors(_addrs(28), 8) == 2
+    assert count_sectors(_addrs(24), 8) == 1
+
+
+def test_empty_access():
+    assert coalesce(np.empty(0, dtype=np.uint64), 8) == []
+    assert count_sectors(np.empty(0, dtype=np.uint64), 8) == 0
+
+
+def test_transactions_group_by_line():
+    # sectors 0 and 1 of line 0, sector 0 of line 1
+    addrs = _addrs(0, 32, 128)
+    txns = coalesce(addrs, 4)
+    assert len(txns) == 2
+    assert txns[0].line_addr == 0 and txns[0].sector_mask == 0b0011
+    assert txns[1].line_addr == 128 and txns[1].sector_mask == 0b0001
+
+
+def test_transaction_sector_mask_width():
+    addrs = _addrs(0, 32, 64, 96)  # all four sectors of one line
+    txns = coalesce(addrs, 4)
+    assert len(txns) == 1
+    assert txns[0].sector_mask == 0b1111
+    assert txns[0].num_sectors == 4
+
+
+def test_sector_addresses_sorted_unique():
+    addrs = _addrs(100, 100, 40, 200)
+    out = sector_addresses(addrs, 4)
+    assert list(out) == [32, 96, 192]
+    assert all(a % SECTOR_BYTES == 0 for a in out)
+
+
+def test_duplicate_addresses_coalesce():
+    addrs = np.full(32, 0xABC0, dtype=np.uint64)
+    assert count_sectors(addrs, 4) == 1
+
+
+@given(
+    lanes=st.lists(
+        st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=32
+    ),
+    width=st.sampled_from([1, 4, 8]),
+)
+def test_count_matches_brute_force(lanes, width):
+    addrs = np.array(lanes, dtype=np.uint64)
+    expect = set()
+    for a in lanes:
+        for b in range(a, a + width):
+            expect.add(b // SECTOR_BYTES)
+    assert count_sectors(addrs, width) == len(expect)
+    txns = coalesce(addrs, width)
+    got = set()
+    for t in txns:
+        for s in range(LINE_BYTES // SECTOR_BYTES):
+            if t.sector_mask >> s & 1:
+                got.add((t.line_addr + s * SECTOR_BYTES) // SECTOR_BYTES)
+    assert got == expect
+
+
+@given(
+    lanes=st.lists(
+        st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=32
+    ),
+)
+def test_transaction_count_bounds(lanes):
+    addrs = np.array(lanes, dtype=np.uint64)
+    n = count_sectors(addrs, 4)
+    assert 1 <= n <= 2 * len(lanes)

@@ -1,0 +1,230 @@
+"""Tests for the five dispatch strategies (Table 1 lowering)."""
+import numpy as np
+import pytest
+
+from repro.errors import DispatchError, MMUFault
+from repro.gpu.isa import (
+    ROLE_DISPATCH_OVERHEAD,
+    ROLE_INDIRECT_CALL,
+    ROLE_LOAD_VFUNC,
+    ROLE_LOAD_VTABLE,
+)
+from repro.memory.address_space import decode_tag
+
+from conftest import ALL_TECHNIQUES, FIG6_TECHNIQUES, read_age
+
+
+def _speak_kernel(machine, ptrs, static_type, uniform=False):
+    arr = machine.array_from(ptrs, "u64")
+
+    def kernel(ctx):
+        p = arr.ld(ctx, ctx.tid)
+        ctx.vcall(p, static_type, "speak", uniform=uniform)
+
+    return kernel
+
+
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+def test_dispatch_reaches_correct_impl(machine_factory, animals, technique):
+    m = machine_factory(technique)
+    m.register(animals.Dog, animals.Cat, animals.Puppy)
+    dogs = m.new_objects(animals.Dog, 10)
+    cats = m.new_objects(animals.Cat, 10)
+    pups = m.new_objects(animals.Puppy, 10)
+    ptrs = np.concatenate([dogs, cats, pups])
+    m.launch(_speak_kernel(m, ptrs, animals.Animal), len(ptrs))
+    assert all(read_age(m, animals, p) == 1 for p in dogs)
+    assert all(read_age(m, animals, p) == 2 for p in cats)
+    assert all(read_age(m, animals, p) == 10 for p in pups)
+
+
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+def test_virtual_getter_returns_per_lane_values(
+    machine_factory, animals, technique
+):
+    m = machine_factory(technique)
+    m.register(animals.Dog, animals.Puppy)
+    dogs = m.new_objects(animals.Dog, 4)
+    pups = m.new_objects(animals.Puppy, 4)
+    ptrs = np.concatenate([dogs, pups])
+    arr = m.array_from(ptrs, "u64")
+    got = {}
+
+    def kernel(ctx):
+        p = arr.ld(ctx, ctx.tid)
+        got["legs"] = ctx.vcall(p, animals.Animal, "legs")
+
+    m.launch(kernel, len(ptrs))
+    np.testing.assert_array_equal(got["legs"], [4] * 4 + [3] * 4)
+
+
+class TestCudaLowering:
+    def test_roles_attributed(self, machine_factory, animals):
+        m = machine_factory("cuda")
+        dogs = m.new_objects(animals.Dog, 32)
+        stats = m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        assert stats.role_transactions.get(ROLE_LOAD_VTABLE, 0) > 0
+        assert stats.role_transactions.get(ROLE_LOAD_VFUNC, 0) > 0
+        assert stats.role_instrs.get(ROLE_INDIRECT_CALL, 0) == 1
+
+    def test_vtable_load_diverged_vfunc_converged(self, machine_factory,
+                                                  animals):
+        # op A generates ~1 sector per object; op B is converged (1)
+        m = machine_factory("cuda")
+        dogs = m.new_objects(animals.Dog, 32)
+        stats = m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        a = stats.role_transactions[ROLE_LOAD_VTABLE]
+        b = stats.role_transactions[ROLE_LOAD_VFUNC]
+        assert a >= 8 * b  # A diverged, B converged
+
+
+class TestConcordLowering:
+    def test_no_vfunc_load_no_indirect_call(self, machine_factory, animals):
+        m = machine_factory("concord")
+        m.register(animals.Dog, animals.Cat)
+        dogs = m.new_objects(animals.Dog, 32)
+        stats = m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        assert stats.role_transactions.get(ROLE_LOAD_VFUNC, 0) == 0
+        assert stats.role_instrs.get(ROLE_INDIRECT_CALL, 0) == 0
+        # switch compares/branches instead
+        assert stats.role_instrs.get(ROLE_DISPATCH_OVERHEAD, 0) > 0
+
+    def test_header_is_type_tag(self, machine_factory, animals):
+        m = machine_factory("concord")
+        dog = m.new_objects(animals.Dog, 1)[0]
+        tag = int(m.heap.load(int(dog), "u32"))
+        assert m.registry.by_id(tag) is animals.Dog
+
+    def test_dense_header(self, machine_factory, animals):
+        m = machine_factory("concord")
+        m.register(animals.Dog)
+        # Concord's 4-byte tag packs tighter than an 8-byte vTable*
+        m_cuda = machine_factory("cuda")
+        m_cuda.register(animals.Dog)
+        assert (m.registry.layout(animals.Dog).size
+                <= m_cuda.registry.layout(animals.Dog).size)
+
+
+class TestCOALLowering:
+    def test_no_object_dereference_for_type(self, machine_factory, animals):
+        m = machine_factory("coal")
+        dogs = m.new_objects(animals.Dog, 32)
+        stats = m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        # op A replaced by the range-table walk
+        assert stats.role_transactions.get(ROLE_LOAD_VTABLE, 0) == 0
+        assert stats.role_transactions.get(ROLE_DISPATCH_OVERHEAD, 0) > 0
+        assert stats.role_transactions.get(ROLE_LOAD_VFUNC, 0) > 0
+
+    def test_uniform_call_site_not_instrumented(self, machine_factory,
+                                                animals):
+        # section 5 heuristic: statically-uniform sites keep the vTable
+        m = machine_factory("coal")
+        dogs = m.new_objects(animals.Dog, 32)
+        uniform_ptrs = np.full(32, dogs[0], dtype=np.uint64)
+        stats = m.launch(
+            _speak_kernel(m, uniform_ptrs, animals.Animal, uniform=True), 32
+        )
+        assert stats.role_transactions.get(ROLE_LOAD_VTABLE, 0) > 0
+        assert stats.role_transactions.get(ROLE_DISPATCH_OVERHEAD, 0) == 0
+
+    def test_rebuilds_tree_after_new_region(self, machine_factory, animals):
+        m = machine_factory("coal")
+        dogs = m.new_objects(animals.Dog, 8)
+        m.launch(_speak_kernel(m, dogs, animals.Animal), 8)
+        # allocate enough new objects to open a new region, then dispatch
+        cats = m.new_objects(animals.Cat, 8)
+        m.launch(_speak_kernel(m, cats, animals.Animal), 8)
+        assert all(read_age(m, animals, p) == 2 for p in cats)
+
+    def test_foreign_pointer_fails_lookup(self, machine_factory, animals):
+        m = machine_factory("coal")
+        m.new_objects(animals.Dog, 8)
+        bogus = np.full(8, m.heap.sbrk(64) + 8, dtype=np.uint64)
+        with pytest.raises(DispatchError):
+            m.launch(_speak_kernel(m, bogus, animals.Animal), 8)
+
+    def test_requires_range_allocator(self, machine_factory, animals):
+        from repro.core.dispatch import COALDispatch
+
+        m = machine_factory("cuda")  # CUDA allocator: no ranges()
+        strategy = COALDispatch()
+        strategy.bind(m)
+        with pytest.raises(DispatchError):
+            strategy.prepare_launch()
+
+
+class TestTypePointerLowering:
+    def test_zero_memory_accesses_for_type(self, machine_factory, animals):
+        m = machine_factory("typepointer")
+        dogs = m.new_objects(animals.Dog, 32)
+        stats = m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        # op A costs no transactions at all (Table 1)
+        assert stats.role_transactions.get(ROLE_LOAD_VTABLE, 0) == 0
+        assert stats.role_transactions.get(ROLE_DISPATCH_OVERHEAD, 0) in (0, None)
+        # SHR/ADD overhead instructions charged
+        assert stats.role_instrs.get(ROLE_DISPATCH_OVERHEAD, 0) >= 2
+
+    def test_pointers_carry_vtable_offset(self, machine_factory, animals):
+        m = machine_factory("typepointer")
+        dog = m.new_objects(animals.Dog, 1)[0]
+        assert decode_tag(int(dog)) == m.arena.tag_for_type(animals.Dog)
+
+    def test_untagged_pointer_detected(self, machine_factory, animals):
+        # mixing allocators breaks TypePointer (section 6.4 limitation 3)
+        m = machine_factory("typepointer")
+        m.new_objects(animals.Dog, 1)
+        untagged = np.full(4, m.heap.sbrk(64) + 8, dtype=np.uint64)
+        with pytest.raises(DispatchError, match="mixing"):
+            m.launch(_speak_kernel(m, untagged, animals.Animal), 4)
+
+    def test_prototype_masks_member_accesses(self, machine_factory, animals):
+        from repro.gpu.isa import InstrClass
+
+        m_hw = machine_factory("typepointer")
+        m_sw = machine_factory("typepointer_proto")
+        for m in (m_hw, m_sw):
+            dogs = m.new_objects(animals.Dog, 32)
+            m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        hw = m_hw.run_stats.warp_instrs[InstrClass.COMPUTE]
+        sw = m_sw.run_stats.warp_instrs[InstrClass.COMPUTE]
+        assert sw > hw  # software masking adds AND instructions
+
+    def test_baseline_mmu_faults_on_tagged_pointer(self, machine_factory,
+                                                   animals):
+        # a stock MMU (no TypePointer support) rejects tagged pointers
+        from repro.memory.mmu import MMUMode
+
+        m = machine_factory("typepointer")
+        dogs = m.new_objects(animals.Dog, 4)
+        m.mmu.set_mode(MMUMode.BASELINE)
+        with pytest.raises(MMUFault):
+            m.launch(_speak_kernel(m, dogs, animals.Animal), 4)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("technique", FIG6_TECHNIQUES)
+    def test_mixed_types_serialize(self, machine_factory, animals, technique):
+        m = machine_factory(technique)
+        m.register(animals.Dog, animals.Cat)
+        dogs = m.new_objects(animals.Dog, 16)
+        cats = m.new_objects(animals.Cat, 16)
+        ptrs = np.empty(32, dtype=np.uint64)
+        ptrs[0::2] = dogs
+        ptrs[1::2] = cats
+        stats = m.launch(_speak_kernel(m, ptrs, animals.Animal), 32)
+        assert stats.call_serializations == 1  # two groups in one warp
+
+    def test_single_type_no_serialization(self, machine_factory, animals):
+        m = machine_factory("cuda")
+        dogs = m.new_objects(animals.Dog, 32)
+        stats = m.launch(_speak_kernel(m, dogs, animals.Animal), 32)
+        assert stats.call_serializations == 0
+
+
+def test_abstract_dispatch_fails_loudly(machine_factory, animals):
+    # constructing an abstract type and calling through it: null vfunc
+    m = machine_factory("cuda")
+    m.register(animals.Animal)
+    ptrs = m.new_objects(animals.Animal, 4)
+    with pytest.raises(DispatchError):
+        m.launch(_speak_kernel(m, ptrs, animals.Animal), 4)

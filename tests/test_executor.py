@@ -1,0 +1,211 @@
+"""Tests for the SIMT executor: charging, waves, vcall mechanics."""
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.config import small_config
+from repro.gpu.executor import WARP_SIZE
+from repro.gpu.isa import InstrClass, Opcode
+
+
+class TestInstructionCharging:
+    def test_alu_and_ctrl_counted(self, machine_factory):
+        m = machine_factory("cuda")
+
+        def kernel(ctx):
+            ctx.alu(3)
+            ctx.ctrl(2)
+
+        stats = m.launch(kernel, 32)
+        assert stats.warp_instrs[InstrClass.COMPUTE] == 3
+        assert stats.warp_instrs[InstrClass.CTRL] == 2
+        assert stats.thread_instrs == 5 * 32
+
+    def test_partial_warp_thread_instrs(self, machine_factory):
+        m = machine_factory("cuda")
+
+        def kernel(ctx):
+            ctx.alu(1)
+
+        stats = m.launch(kernel, 40)  # one full warp + 8 lanes
+        assert stats.warp_instrs[InstrClass.COMPUTE] == 2
+        assert stats.thread_instrs == 32 + 8
+
+    def test_invalid_thread_count(self, machine_factory):
+        m = machine_factory("cuda")
+        with pytest.raises(LaunchError):
+            m.launch(lambda ctx: None, 0)
+
+
+class TestMemoryOps:
+    def test_load_returns_heap_values(self, machine_factory):
+        m = machine_factory("cuda")
+        arr = m.array_from(np.arange(64, dtype=np.uint32), "u32")
+        seen = {}
+
+        def kernel(ctx):
+            seen.setdefault("v", []).append(arr.ld(ctx, ctx.tid))
+
+        m.launch(kernel, 64)
+        np.testing.assert_array_equal(
+            np.concatenate(seen["v"]), np.arange(64, dtype=np.uint32)
+        )
+
+    def test_store_visible_after_launch(self, machine_factory):
+        m = machine_factory("cuda")
+        arr = m.array("u32", 64)
+
+        def kernel(ctx):
+            arr.st(ctx, ctx.tid, ctx.tid.astype(np.uint32) * 2)
+
+        m.launch(kernel, 64)
+        np.testing.assert_array_equal(
+            arr.read(), np.arange(64, dtype=np.uint32) * 2
+        )
+
+    def test_transactions_counted(self, machine_factory):
+        m = machine_factory("cuda")
+        arr = m.array_from(np.zeros(32, dtype=np.uint64), "u64")
+
+        def kernel(ctx):
+            arr.ld(ctx, ctx.tid)   # 32 u64 = 256B = 8 sectors
+
+        stats = m.launch(kernel, 32)
+        assert stats.global_load_transactions == 8
+        assert stats.warp_instrs[InstrClass.MEM] == 1
+
+    def test_store_transactions_separate(self, machine_factory):
+        m = machine_factory("cuda")
+        arr = m.array("u32", 32)
+
+        def kernel(ctx):
+            arr.st(ctx, ctx.tid, np.zeros(ctx.lane_count, dtype=np.uint32))
+
+        stats = m.launch(kernel, 32)
+        assert stats.global_store_transactions == 4
+        assert stats.global_load_transactions == 0
+
+    def test_cache_counters_consistent(self, machine_factory):
+        m = machine_factory("cuda")
+        arr = m.array_from(np.zeros(256, dtype=np.uint32), "u32")
+
+        def kernel(ctx):
+            arr.ld(ctx, ctx.tid)
+
+        stats = m.launch(kernel, 256)
+        assert stats.l1_accesses == stats.global_load_transactions
+        assert stats.l1_hits + stats.l2_accesses == stats.l1_accesses
+        assert stats.l2_hits + stats.dram_accesses == stats.l2_accesses
+
+
+class TestWaveReplay:
+    def test_wave_interleaving_defeats_intra_warp_prefetch(self):
+        """A warp's second pass over its data can be evicted by peers.
+
+        With serial (1-resident) execution the second load of the same
+        address always hits; with many resident warps sharing a tiny L1
+        it often does not -- the section-1 thrashing effect.
+        """
+        from repro import Machine
+        from repro.gpu.config import GPUConfig, CacheGeometry
+
+        def run(resident):
+            cfg = GPUConfig(
+                name=f"wave{resident}", num_sms=1, schedulers_per_sm=1,
+                l1=CacheGeometry(size_bytes=1024, assoc=2),
+                l2=CacheGeometry(size_bytes=4096, assoc=2),
+                resident_warps_per_sm=resident,
+            )
+            m = Machine("cuda", config=cfg)
+            arr = m.array_from(np.zeros(1024, dtype=np.uint64), "u64")
+
+            def kernel(ctx):
+                arr.ld(ctx, ctx.tid)   # first touch
+                arr.ld(ctx, ctx.tid)   # re-touch: hit iff line survived
+            return m.launch(kernel, 1024).l1_hit_rate
+
+        assert run(1) > run(32)
+
+    def test_results_identical_across_wave_sizes(self):
+        """Functional results must not depend on the wave size."""
+        from repro import Machine
+        from repro.gpu.config import GPUConfig
+
+        outs = []
+        for resident in (1, 4, 64):
+            cfg = GPUConfig(name=f"w{resident}", num_sms=2,
+                            resident_warps_per_sm=resident)
+            m = Machine("cuda", config=cfg)
+            arr = m.array("u32", 256)
+
+            def kernel(ctx):
+                arr.st(ctx, ctx.tid, (ctx.tid * 3 + 1).astype(np.uint32))
+
+            m.launch(kernel, 256)
+            outs.append(arr.read())
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(outs[0], outs[2])
+
+
+class TestVcall:
+    def test_lane_pointer_mismatch_rejected(self, machine_factory, animals):
+        m = machine_factory("cuda")
+        dogs = m.new_objects(animals.Dog, 8)
+
+        def kernel(ctx):
+            ctx.vcall(dogs[:4], animals.Animal, "speak")
+
+        with pytest.raises(LaunchError):
+            m.launch(kernel, 8)
+
+    def test_vfunc_calls_counted_per_thread(self, machine_factory, animals):
+        m = machine_factory("cuda")
+        dogs = m.new_objects(animals.Dog, 48)
+        arr = m.array_from(dogs, "u64")
+
+        def kernel(ctx):
+            ctx.vcall(arr.ld(ctx, ctx.tid), animals.Animal, "speak")
+
+        stats = m.launch(kernel, 48)
+        assert stats.vfunc_calls == 48
+
+    def test_nested_vcall(self, machine_factory, animals):
+        from repro.runtime.typesystem import TypeDescriptor
+
+        m = machine_factory("cuda")
+        m.register(animals.Dog)
+        dogs = m.new_objects(animals.Dog, 8)
+        dog_arr = m.array_from(dogs, "u64")
+        outer_results = {}
+
+        def outer_impl(ctx, objs):
+            # nested virtual call from inside a virtual function body
+            inner = dog_arr.ld(ctx, ctx.tid % len(dogs))
+            outer_results["legs"] = ctx.vcall(inner, animals.Animal, "legs")
+
+        Outer = TypeDescriptor(
+            f"Outer#{id(self_ := object()):x}", methods={"go": outer_impl}
+        )
+        outers = m.new_objects(Outer, 8)
+        arr = m.array_from(outers, "u64")
+
+        def kernel(ctx):
+            ctx.vcall(arr.ld(ctx, ctx.tid), Outer, "go")
+
+        m.launch(kernel, 8)
+        np.testing.assert_array_equal(outer_results["legs"], [4] * 8)
+
+    def test_run_stats_accumulate(self, machine_factory, animals):
+        m = machine_factory("cuda")
+        dogs = m.new_objects(animals.Dog, 32)
+        arr = m.array_from(dogs, "u64")
+
+        def kernel(ctx):
+            ctx.vcall(arr.ld(ctx, ctx.tid), animals.Animal, "speak")
+
+        m.launch(kernel, 32)
+        m.launch(kernel, 32)
+        assert m.launches == 2
+        assert m.run_stats.vfunc_calls == 64
+        m.reset_run()
+        assert m.run_stats.vfunc_calls == 0

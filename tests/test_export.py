@@ -1,0 +1,58 @@
+"""Tests for JSON export/import of figure results."""
+import pytest
+
+from repro.harness.export import export_figure, figure_to_dict, load_figure
+from repro.harness.figures import FigureResult
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        figure="fig6",
+        values={("TRAF", "cuda"): 0.5, ("TRAF", "coal"): 1.1},
+        summary={"cuda": 0.5, "coal": 1.1},
+        table="Figure 6: ...",
+    )
+
+
+def test_roundtrip(tmp_path, result):
+    path = export_figure(result, tmp_path / "fig6.json")
+    restored = load_figure(path)
+    assert restored.figure == result.figure
+    assert restored.values == result.values
+    assert restored.summary == result.summary
+    assert restored.table == result.table
+
+
+def test_tuple_keys_flattened(result):
+    d = figure_to_dict(result)
+    assert "TRAF||cuda" in d["values"]
+
+
+def test_numeric_tuple_keys(tmp_path):
+    r = FigureResult(
+        figure="fig12a",
+        values={("cuda", 16384): 2.0, ("branch", 16384): 1.0},
+        summary={"cuda": 2.0},
+        table="t",
+    )
+    restored = load_figure(export_figure(r, tmp_path / "f.json"))
+    assert restored.values[("cuda", 16384)] == 2.0
+
+
+def test_creates_parent_dirs(tmp_path, result):
+    path = export_figure(result, tmp_path / "deep" / "dir" / "x.json")
+    assert path.exists()
+
+
+def test_numpy_values_serializable(tmp_path):
+    import numpy as np
+
+    r = FigureResult(
+        figure="x",
+        values={"a": np.float64(1.5)},
+        summary={"a": np.float64(1.5)},
+        table="t",
+    )
+    restored = load_figure(export_figure(r, tmp_path / "n.json"))
+    assert restored.values["a"] == 1.5

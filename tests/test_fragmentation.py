@@ -1,0 +1,71 @@
+"""Tests for the fragmentation metrics module."""
+import pytest
+
+from repro.memory.cuda_allocator import CudaHeapAllocator
+from repro.memory.fragmentation import measure, per_type_usage
+from repro.memory.heap import Heap
+from repro.memory.shared_oa import SharedOAAllocator
+from repro.memory.typepointer_alloc import TypePointerAllocator
+
+
+def test_sharedoa_no_internal_fragmentation(heap):
+    soa = SharedOAAllocator(heap, initial_chunk_objects=8)
+    for _ in range(8):
+        soa.alloc_object("A", 24)
+    report = measure(soa)
+    assert report.internal_fragmentation == 0.0
+    assert report.external_fragmentation == pytest.approx(0.0)
+    assert report.region_count == 1
+
+
+def test_cuda_internal_fragmentation_positive(heap):
+    cuda = CudaHeapAllocator(heap)
+    for _ in range(20):
+        cuda.alloc_object("A", 20)
+    report = measure(cuda)
+    assert report.internal_fragmentation > 0.2  # padding + rounding
+
+
+def test_partial_region_external_fragmentation(heap):
+    soa = SharedOAAllocator(heap, initial_chunk_objects=100)
+    soa.alloc_object("A", 16)
+    report = measure(soa)
+    assert report.external_fragmentation == pytest.approx(0.99)
+
+
+def test_measure_through_typepointer_wrapper(heap):
+    inner = SharedOAAllocator(heap, initial_chunk_objects=10)
+    tp = TypePointerAllocator(inner, lambda t: 64)
+    tp.alloc_object("A", 16)
+    report = measure(tp)
+    assert report.region_count == 1
+    assert 0 <= report.external_fragmentation < 1
+
+
+def test_per_type_usage(heap):
+    soa = SharedOAAllocator(heap, initial_chunk_objects=4)
+    for _ in range(6):
+        soa.alloc_object("A", 16)
+    for _ in range(2):
+        soa.alloc_object("B", 32)
+    usage = per_type_usage(soa)
+    assert usage["A"]["live_objects"] == 6
+    assert usage["B"]["live_objects"] == 2
+    assert usage["A"]["reserved_bytes"] == (4 + 8) * 16
+    assert usage["B"]["regions"] == 1
+
+
+def test_report_str(heap):
+    soa = SharedOAAllocator(heap, initial_chunk_objects=4)
+    soa.alloc_object("A", 16)
+    text = str(measure(soa))
+    assert "external" in text and "regions" in text
+
+
+def test_frees_increase_external_fragmentation(heap):
+    soa = SharedOAAllocator(heap, initial_chunk_objects=8)
+    ptrs = [soa.alloc_object("A", 16) for _ in range(8)]
+    before = soa.external_fragmentation()
+    for p in ptrs[:4]:
+        soa.free_object(p)
+    assert soa.external_fragmentation() > before

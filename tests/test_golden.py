@@ -1,0 +1,57 @@
+"""Golden regression tests: pinned functional results per workload.
+
+These checksums were produced by the validated implementation (each
+workload's algorithm is separately checked against a pure-numpy or
+graph-theoretic reference in its own test file) and pin the exact
+behaviour: any future change to allocation order, dispatch resolution,
+kernel scheduling or arithmetic that silently alters results trips
+these before anything subtler does.
+
+All values are allocator/technique independent (see
+test_equivalence.py), so one technique suffices here.
+"""
+import pytest
+
+from repro.gpu.config import small_config
+from repro.gpu.machine import Machine
+from repro.workloads import make_workload
+
+#: (scale=0.04, seed=11, 2 iterations, small_config) golden checksums
+GOLDEN = {
+    "TRAF": 43125.0,
+    "GOL": 24155.0,
+    "STUT": 44736.65,
+    "GEN": 47720.0,
+    "BFS-vE": 7479.0,
+    "CC-vE": 184976.0,
+    "PR-vE": 11751839.3,
+    "BFS-vEN": 1915001100.0,
+    "CC-vEN": 184976.0,
+    "PR-vEN": 11751839.3,
+    "RAY": 49.2499,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(GOLDEN.items()))
+def test_golden_checksum(name, expected):
+    m = Machine("cuda", config=small_config())
+    wl = make_workload(name, m, scale=0.04, seed=11)
+    wl.run(2)
+    assert wl.checksum() == pytest.approx(expected, rel=1e-9), (
+        f"{name} changed behaviour: checksum {wl.checksum()!r} vs "
+        f"golden {expected!r}. If the change is intentional (new rules, "
+        f"new charging does NOT count -- checksums are cost-independent), "
+        f"regenerate the GOLDEN table."
+    )
+
+
+def test_checksums_are_cost_model_independent():
+    """Golden values must not depend on the GPU config (pure function
+    of the input), so cost-model tuning can never trip them."""
+    from repro.gpu.config import scaled_config
+
+    for name in ("TRAF", "BFS-vE"):
+        m = Machine("cuda", config=scaled_config())
+        wl = make_workload(name, m, scale=0.04, seed=11)
+        wl.run(2)
+        assert wl.checksum() == pytest.approx(GOLDEN[name], rel=1e-9)

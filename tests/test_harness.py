@@ -1,0 +1,114 @@
+"""Tests for the experiment harness: runner, aggregation, reports."""
+import math
+
+import pytest
+
+from repro.gpu.config import small_config
+from repro.harness import (
+    fig1_breakdown,
+    fig6_performance,
+    format_table,
+    geomean,
+    geomean_by_technique,
+    init_performance,
+    matrix_table,
+    normalized,
+    run_one,
+    run_sweep,
+)
+from repro.harness.runner import RunRecord, _CACHE, clear_cache
+
+SMALL = dict(scale=0.04, config=small_config())
+
+
+class TestRunner:
+    def test_run_one_records_counters(self):
+        rec = run_one("TRAF", "cuda", **SMALL)
+        assert rec.cycles > 0
+        assert rec.gld_transactions > 0
+        assert rec.vfunc_calls > 0
+        assert 0 <= rec.l1_hit_rate <= 1
+        assert rec.num_types == 6
+
+    def test_cache_hit_returns_same_object(self):
+        clear_cache()
+        a = run_one("RAY", "cuda", scale=0.2, config=small_config())
+        b = run_one("RAY", "cuda", scale=0.2, config=small_config())
+        assert a is b
+
+    def test_cache_key_distinguishes_technique(self):
+        a = run_one("RAY", "cuda", scale=0.2, config=small_config())
+        b = run_one("RAY", "coal", scale=0.2, config=small_config())
+        assert a is not b
+
+    def test_use_cache_false_bypasses(self):
+        a = run_one("RAY", "cuda", scale=0.2, config=small_config())
+        b = run_one("RAY", "cuda", scale=0.2, config=small_config(),
+                    use_cache=False)
+        assert a is not b
+
+    def test_run_sweep_covers_grid(self):
+        recs = run_sweep(workloads=["TRAF", "RAY"],
+                         techniques=("cuda", "coal"), **SMALL)
+        assert set(recs) == {("TRAF", "cuda"), ("TRAF", "coal"),
+                             ("RAY", "cuda"), ("RAY", "coal")}
+
+
+class TestAggregation:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        assert math.isnan(geomean([]))
+
+    def test_normalized_invert_gives_performance(self):
+        recs = run_sweep(workloads=["TRAF"], techniques=("cuda", "sharedoa"),
+                         **SMALL)
+        perf = normalized(recs, "cycles", baseline="sharedoa", invert=True)
+        assert perf[("TRAF", "sharedoa")] == pytest.approx(1.0)
+        direct = normalized(recs, "cycles", baseline="sharedoa")
+        assert direct[("TRAF", "cuda")] == pytest.approx(
+            1.0 / perf[("TRAF", "cuda")]
+        )
+
+    def test_geomean_by_technique(self):
+        ratios = {("a", "x"): 1.0, ("b", "x"): 4.0, ("a", "y"): 2.0}
+        gm = geomean_by_technique(ratios)
+        assert gm["x"] == pytest.approx(2.0)
+        assert gm["y"] == pytest.approx(2.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        t = format_table(["name", "v"], [["aa", 1.5], ["b", 2.0]],
+                         title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "aa" in lines[3] and "1.500" in t
+
+    def test_matrix_table_with_gm(self):
+        ratios = {("w1", "cuda"): 0.5, ("w1", "coal"): 1.1}
+        t = matrix_table(ratios, ("cuda", "coal"), gm_row={"cuda": 0.5,
+                                                           "coal": 1.1})
+        assert "GM" in t and "w1" in t
+
+
+class TestFigureHarnesses:
+    def test_fig6_on_subset(self):
+        res = fig6_performance(workloads=["TRAF", "RAY"], **SMALL)
+        assert res.figure == "fig6"
+        assert ("TRAF", "cuda") in res.values
+        assert res.summary["sharedoa"] == pytest.approx(1.0)
+        assert "Figure 6" in res.table
+
+    def test_fig1_shares_sum_to_one(self):
+        res = fig1_breakdown(workloads=["TRAF"], **SMALL)
+        assert sum(res.summary.values()) == pytest.approx(1.0)
+        assert res.summary["load_vtable_ptr"] > res.summary["indirect_call"]
+
+    def test_init_performance_positive_speedup(self):
+        cmp_ = init_performance(num_objects=2000, config=small_config())
+        assert cmp_.speedup > 1.0
+        assert cmp_.objects == 2000

@@ -1,0 +1,114 @@
+"""Tests for the heap debugging tools."""
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.cuda_allocator import CudaHeapAllocator
+from repro.memory.debug import HeapChecker, allocation_map
+from repro.memory.shared_oa import SharedOAAllocator
+from repro.memory.typepointer_alloc import TypePointerAllocator
+
+
+@pytest.fixture
+def soa(heap):
+    return SharedOAAllocator(heap, initial_chunk_objects=4)
+
+
+class TestLeakAccounting:
+    def test_leaks_since_checkpoint(self, soa):
+        checker = HeapChecker(soa)
+        a = soa.alloc_object("A", 16)
+        checker.checkpoint()
+        b = soa.alloc_object("A", 16)
+        leaks = checker.leaks_since_checkpoint()
+        assert [r.addr for r in leaks] == [b]
+
+    def test_freed_since_checkpoint(self, soa):
+        checker = HeapChecker(soa)
+        a = soa.alloc_object("A", 16)
+        checker.checkpoint()
+        soa.free_object(a)
+        freed = checker.freed_since_checkpoint()
+        assert [r.addr for r in freed] == [a]
+
+    def test_balanced_trace_no_leaks(self, soa):
+        checker = HeapChecker(soa)
+        checker.checkpoint()
+        p = soa.alloc_object("A", 16)
+        soa.free_object(p)
+        # slot reuse means a later alloc at the same address is not a
+        # leak relative to... no: it IS a new object.  Balanced here:
+        assert checker.leaks_since_checkpoint() == []
+        assert checker.freed_since_checkpoint() == []
+
+    def test_requires_checkpoint(self, soa):
+        with pytest.raises(MemoryError_):
+            HeapChecker(soa).leaks_since_checkpoint()
+
+
+class TestIntegrity:
+    def test_clean_allocator_passes(self, soa):
+        for i in range(10):
+            soa.alloc_object(f"T{i % 2}", 16)
+        HeapChecker(soa).check_all()
+
+    def test_cuda_allocator_passes(self, heap):
+        cuda = CudaHeapAllocator(heap)
+        for _ in range(10):
+            cuda.alloc_object("A", 24)
+        HeapChecker(cuda).check_all()
+
+    def test_typepointer_wrapper_passes(self, heap):
+        inner = SharedOAAllocator(heap, initial_chunk_objects=4)
+        tp = TypePointerAllocator(inner, lambda t: 64)
+        for _ in range(6):
+            tp.alloc_object("A", 16)
+        HeapChecker(tp).check_all()
+
+    def test_overlap_detected(self, soa):
+        soa.alloc_object("A", 16)
+        # corrupt the allocator's book-keeping to fake an overlap
+        addr = next(iter(soa._live))
+        soa._live[addr + 8] = ("A", 16)
+        with pytest.raises(MemoryError_, match="overlap"):
+            HeapChecker(soa).check_no_overlaps()
+
+    def test_escaped_object_detected(self, soa):
+        soa.alloc_object("A", 16)
+        # an object recorded outside any region
+        soa._live[0xDEAD00] = ("A", 16)
+        with pytest.raises(MemoryError_, match="region"):
+            HeapChecker(soa).check_objects_in_ranges()
+
+
+class TestAllocationMap:
+    def test_map_contents(self, soa):
+        for _ in range(3):
+            soa.alloc_object("A", 16)
+        soa.alloc_object("B", 24)
+        text = allocation_map(soa)
+        assert "4 live objects" in text
+        assert "x3" in text and "x1" in text
+
+    def test_map_truncates(self, soa):
+        for _ in range(30):
+            soa.alloc_object("A", 16)
+        text = allocation_map(soa, max_rows=5)
+        assert "more" in text
+
+
+def test_workload_run_is_leak_balanced():
+    """GOL retypes thousands of cells; every free must pair an alloc."""
+    from repro.gpu.config import small_config
+    from repro.gpu.machine import Machine
+    from repro.workloads import make_workload
+
+    m = Machine("sharedoa", config=small_config())
+    wl = make_workload("GOL", m, scale=0.04, seed=3)
+    wl.setup()
+    wl._setup_done = True
+    checker = HeapChecker(m.allocator)
+    before = m.allocator.live_count()
+    wl.iterate()
+    # retyping is one-for-one: the population never changes
+    assert m.allocator.live_count() == before
+    checker.check_all()

@@ -1,0 +1,69 @@
+"""Tests for the compiler-view module: heuristic + disassembly."""
+import pytest
+
+from repro.core.instrumentation import (
+    CallSite,
+    disassemble,
+    mnemonics,
+    should_instrument_coal,
+)
+
+
+class TestHeuristic:
+    def test_diverged_site_instrumented(self):
+        assert should_instrument_coal(CallSite("hit")) is True
+
+    def test_uniform_site_skipped(self):
+        assert should_instrument_coal(CallSite("hit", uniform=True)) is False
+
+
+class TestDisassembly:
+    def test_cuda_sequence_is_figure_1a(self):
+        ops = mnemonics(disassemble("cuda", slot=1))
+        assert ops == ["LDG", "LDG", "LDC", "CALL"]
+
+    def test_typepointer_sequence_is_figure_5b(self):
+        # Figure 5b: SHR, ADD, LDG, CALL (plus the section-2 LDC)
+        ops = mnemonics(disassemble("typepointer", slot=0))
+        assert ops == ["SHR", "ADD", "LDG", "LDC", "CALL"]
+
+    def test_indexed_variant_uses_ffma(self):
+        # section 6.2: "the ADD instruction is then replaced with a
+        # fused multiply-add"
+        ops = mnemonics(disassemble("typepointer_indexed"))
+        assert "FFMA" in ops and "ADD" not in ops
+
+    def test_concord_has_no_indirect_call(self):
+        ops = mnemonics(disassemble("concord", num_types=4))
+        assert "CALL" not in ops
+        assert ops.count("BRA") >= 2
+        assert "LDC" not in ops  # no per-kernel table needed
+
+    def test_concord_switch_depth_scales_with_types(self):
+        few = disassemble("concord", num_types=2)
+        many = disassemble("concord", num_types=16)
+        assert len(many) > len(few)
+
+    def test_coal_walk_depth(self):
+        d2 = disassemble("coal", tree_depth=2)
+        d4 = disassemble("coal", tree_depth=4)
+        assert len(d4) > len(d2)
+        ops = mnemonics(d2)
+        assert ops[-1] == "CALL"
+        assert ops.count("LDG") == 2 + 2  # 2 levels + payload + vfunc
+
+    def test_coal_uniform_site_lowers_to_cuda(self):
+        site = CallSite("hit", uniform=True)
+        assert disassemble("coal", site=site) == disassemble("cuda")
+
+    def test_slot_offset_appears(self):
+        text = "\n".join(disassemble("cuda", slot=3))
+        assert "0x18" in text
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            disassemble("quantum")
+
+    def test_sharedoa_same_code_as_cuda(self):
+        # the allocator changes, the code does not (Figure 7's CUDA bar)
+        assert disassemble("sharedoa") == disassemble("cuda")

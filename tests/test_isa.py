@@ -1,0 +1,90 @@
+"""Tests for the ISA vocabulary and stats bookkeeping details."""
+import pytest
+
+from repro.gpu.isa import InstrClass, Opcode, TraceRecord
+from repro.gpu.stats import KernelStats
+
+
+class TestOpcodes:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(op.klass, InstrClass)
+            assert op.mnemonic
+
+    def test_memory_ops(self):
+        assert Opcode.LDG.klass is InstrClass.MEM
+        assert Opcode.STG.klass is InstrClass.MEM
+
+    def test_dispatch_ops_are_compute(self):
+        # the Figure 5b sequence is pure compute before the LDG
+        assert Opcode.SHR.klass is InstrClass.COMPUTE
+        assert Opcode.AND.klass is InstrClass.COMPUTE
+        assert Opcode.FFMA.klass is InstrClass.COMPUTE
+
+    def test_control_ops(self):
+        assert Opcode.CALL.klass is InstrClass.CTRL
+        assert Opcode.BRA.klass is InstrClass.CTRL
+        assert Opcode.RET.klass is InstrClass.CTRL
+
+
+class TestTraceRecord:
+    def test_klass_derived_from_opcode(self):
+        r = TraceRecord(opcode=Opcode.LDG, warp_id=0, active_lanes=32)
+        assert r.klass is InstrClass.MEM
+
+    def test_frozen(self):
+        r = TraceRecord(opcode=Opcode.BRA, warp_id=1, active_lanes=16)
+        with pytest.raises(AttributeError):
+            r.warp_id = 2
+
+
+class TestKernelStats:
+    def test_fresh_stats_zeroed(self):
+        s = KernelStats()
+        assert s.total_warp_instrs == 0
+        assert s.l1_hit_rate == 0.0
+        assert s.l2_hit_rate == 0.0
+        assert s.vfunc_pki == 0.0
+        assert s.const_hit_rate == 0.0
+
+    def test_add_instr_by_class(self):
+        s = KernelStats()
+        s.add_instr(InstrClass.MEM, 32)
+        s.add_instr(InstrClass.COMPUTE, 16, role="x")
+        assert s.warp_instrs[InstrClass.MEM] == 1
+        assert s.thread_instrs == 48
+        assert s.role_instrs == {"x": 1}
+
+    def test_role_transactions_ignore_none(self):
+        s = KernelStats()
+        s.add_role_transactions(None, 5)
+        s.add_role_transactions("a", 0)
+        assert s.role_transactions == {}
+
+    def test_role_levels_accumulate(self):
+        s = KernelStats()
+        s.add_role_levels("a", 1, 2, 3)
+        s.add_role_levels("a", 1, 0, 0)
+        assert s.role_levels["a"] == [2, 2, 3]
+
+    def test_summary_readable(self):
+        s = KernelStats()
+        s.add_instr(InstrClass.MEM, 32)
+        text = s.summary()
+        assert "MEM=1" in text and "cycles" in text
+
+    def test_vfunc_pki(self):
+        s = KernelStats()
+        s.vfunc_calls = 5
+        s.thread_instrs = 1000
+        assert s.vfunc_pki == pytest.approx(5.0)
+
+    def test_merge_role_maps(self):
+        a, b = KernelStats(), KernelStats()
+        a.role_transactions["x"] = 1
+        b.role_transactions["x"] = 2
+        b.role_transactions["y"] = 3
+        b.role_levels["z"] = [1, 1, 1]
+        a.merge(b)
+        assert a.role_transactions == {"x": 3, "y": 3}
+        assert a.role_levels["z"] == [1, 1, 1]

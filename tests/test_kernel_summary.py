@@ -1,0 +1,64 @@
+"""Tests for the per-launch kernel history and summary."""
+import numpy as np
+
+from repro.harness.profile_report import kernel_summary
+
+
+def test_history_records_labels(machine_factory):
+    m = machine_factory("cuda")
+    arr = m.array("u32", 32)
+
+    def alpha(ctx):
+        arr.ld(ctx, ctx.tid)
+
+    def beta(ctx):
+        arr.st(ctx, ctx.tid, np.zeros(ctx.lane_count, dtype=np.uint32))
+
+    m.launch(alpha, 32)
+    m.launch(beta, 32)
+    m.launch(alpha, 32)
+    names = [n for n, _ in m.launch_history]
+    assert names == ["alpha", "beta", "alpha"]
+
+
+def test_explicit_label(machine_factory):
+    m = machine_factory("cuda")
+    arr = m.array("u32", 32)
+    m.launch(lambda ctx: arr.ld(ctx, ctx.tid), 32, label="gather_pass")
+    assert m.launch_history[0][0] == "gather_pass"
+
+
+def test_summary_aggregates_repeated_kernels(machine_factory):
+    m = machine_factory("cuda")
+    arr = m.array("u32", 64)
+
+    def work(ctx):
+        arr.ld(ctx, ctx.tid)
+
+    for _ in range(3):
+        m.launch(work, 64)
+    text = kernel_summary(m)
+    assert "work" in text
+    assert "| 3 " in text or " 3 " in text  # three launches aggregated
+
+
+def test_summary_empty(machine_factory):
+    assert "no launches" in kernel_summary(machine_factory("cuda"))
+
+
+def test_history_reset(machine_factory):
+    m = machine_factory("cuda")
+    arr = m.array("u32", 32)
+    m.launch(lambda ctx: arr.ld(ctx, ctx.tid), 32)
+    m.reset_run()
+    assert m.launch_history == []
+
+
+def test_history_bounded(machine_factory):
+    m = machine_factory("cuda")
+    m.max_history = 4
+    arr = m.array("u32", 32)
+    for _ in range(10):
+        m.launch(lambda ctx: arr.ld(ctx, ctx.tid), 32)
+    assert len(m.launch_history) == 4
+    assert m.launches == 10  # counting continues past the bound

@@ -1,0 +1,119 @@
+"""The TypePointer corner cases of section 6.4, demonstrated.
+
+The paper lists three programs that break TypePointer (all of them
+undefined or abusive C/C++ anyway):
+
+1. clobbering the upper 15 pointer bits,
+2. abusive pointer casts,
+3. mixing the TypePointer allocator with tag-unaware allocators.
+
+These tests show the failure modes are *real and observable* in the
+model -- clobbered tags dispatch the wrong function under TypePointer
+while classic vTable dispatch is immune -- which is exactly the
+trade-off the paper documents.
+"""
+import numpy as np
+import pytest
+
+from repro.errors import DispatchError
+from repro.memory.address_space import encode_tag, strip_tag
+
+from conftest import read_age
+
+
+def _speak(machine, ptrs, static_type):
+    arr = machine.array_from(ptrs, "u64")
+
+    def kernel(ctx):
+        ctx.vcall(arr.ld(ctx, ctx.tid), static_type, "speak")
+
+    return kernel
+
+
+class TestTagClobbering:
+    """Limitation 1: manipulating the upper pointer bits."""
+
+    def test_clobbered_tag_dispatches_wrong_function(self, machine_factory,
+                                                     animals):
+        m = machine_factory("typepointer")
+        m.register(animals.Dog, animals.Cat)
+        dogs = m.new_objects(animals.Dog, 4)
+        cats = m.new_objects(animals.Cat, 4)
+        cat_tag = m.arena.tag_for_type(animals.Cat)
+        # a program that rewrites the upper bits of a Dog pointer...
+        clobbered = np.array(
+            [encode_tag(strip_tag(int(p)), cat_tag) for p in dogs],
+            dtype=np.uint64,
+        )
+        m.launch(_speak(m, clobbered, animals.Animal), 4)
+        # ...makes the Dog *speak like a Cat* (age += 2, not += 1)
+        assert all(read_age(m, animals, p) == 2 for p in dogs)
+
+    def test_vtable_dispatch_immune_to_pointer_games(self, machine_factory,
+                                                     animals):
+        # classic CUDA dispatch reads the embedded vTable*: the object
+        # itself stays authoritative no matter what the pointer says
+        m = machine_factory("cuda")
+        m.register(animals.Dog, animals.Cat)
+        dogs = m.new_objects(animals.Dog, 4)
+        m.launch(_speak(m, dogs, animals.Animal), 4)
+        assert all(read_age(m, animals, p) == 1 for p in dogs)
+
+    def test_garbage_tag_faults(self, machine_factory, animals):
+        m = machine_factory("typepointer")
+        dogs = m.new_objects(animals.Dog, 2)
+        garbage = np.array(
+            [encode_tag(strip_tag(int(p)), 0x7ABC) for p in dogs],
+            dtype=np.uint64,
+        )
+        with pytest.raises(DispatchError):
+            m.launch(_speak(m, garbage, animals.Animal), 2)
+
+
+class TestAllocatorMixing:
+    """Limitation 3: tag-unaware allocations."""
+
+    def test_raw_allocation_rejected_by_dispatch(self, machine_factory,
+                                                 animals):
+        m = machine_factory("typepointer")
+        m.register(animals.Dog)
+        # an object created by a tag-unaware path: valid memory, no tag
+        raw = m.heap.sbrk(64, 16)
+        m.strategy.on_construct(raw, animals.Dog)
+        ptrs = np.full(2, raw, dtype=np.uint64)
+        with pytest.raises(DispatchError, match="mixing"):
+            m.launch(_speak(m, ptrs, animals.Animal), 2)
+
+    def test_same_object_fine_under_coal(self, machine_factory, animals):
+        # COAL only needs the address to fall in a SharedOA range, so
+        # the same mixing scenario is a lookup failure, not silence
+        m = machine_factory("coal")
+        m.register(animals.Dog)
+        m.new_objects(animals.Dog, 4)
+        raw = m.heap.sbrk(64, 16)
+        m.strategy.on_construct(raw, animals.Dog)
+        ptrs = np.full(2, raw, dtype=np.uint64)
+        with pytest.raises(DispatchError):
+            m.launch(_speak(m, ptrs, animals.Animal), 2)
+
+
+class TestUpcastDowncast:
+    """Well-defined C++ pointer use keeps working under every technique."""
+
+    def test_base_pointer_dispatches_derived_impl(self, machine_factory,
+                                                  animals):
+        # calling through Animal* on a Puppy runs Puppy::speak
+        for tech in ("cuda", "typepointer", "coal"):
+            m = machine_factory(tech)
+            m.register(animals.Puppy)
+            pups = m.new_objects(animals.Puppy, 4)
+            m.launch(_speak(m, pups, animals.Animal), 4)
+            assert all(read_age(m, animals, p) == 10 for p in pups)
+
+    def test_mid_hierarchy_static_type(self, machine_factory, animals):
+        # Dog* pointing at a Puppy also dispatches Puppy::speak
+        m = machine_factory("typepointer")
+        m.register(animals.Puppy)
+        pups = m.new_objects(animals.Puppy, 4)
+        m.launch(_speak(m, pups, animals.Dog), 4)
+        assert all(read_age(m, animals, p) == 10 for p in pups)

@@ -1,0 +1,93 @@
+"""Tests for the section-8.3 scalability microbenchmarks."""
+import numpy as np
+import pytest
+
+from repro.gpu.config import small_config
+from repro.gpu.machine import Machine
+from repro.workloads.microbench import BranchMicrobench, ObjectMicrobench
+
+
+def _machine(tech="cuda"):
+    return Machine(tech, config=small_config())
+
+
+class TestObjectMicrobench:
+    def test_objects_allocated_round_robin_types(self):
+        m = _machine()
+        bench = ObjectMicrobench(m, num_objects=64, num_types=4)
+        owners = [m.allocator.owner_type(int(p)) for p in bench.ptrs]
+        for i, owner in enumerate(owners):
+            assert owner is bench.leaves[i % 4]
+
+    def test_every_warp_sees_num_types(self):
+        m = _machine()
+        bench = ObjectMicrobench(m, num_objects=64, num_types=4)
+        stats = bench.run()
+        # 2 warps x 4 types -> 3 extra serialisations per warp
+        assert stats.call_serializations == 2 * 3
+
+    def test_work_actually_executes(self):
+        m = _machine()
+        bench = ObjectMicrobench(m, num_objects=32, num_types=2)
+        bench.run(iterations=3)
+        lay = m.registry.layout(bench.base)
+        off = lay.offset("value")
+        # type 0 adds 1 per iteration, type 1 adds 2
+        v0 = m.heap.load(m.allocator._canonical(int(bench.ptrs[0])) + off, "u32")
+        v1 = m.heap.load(m.allocator._canonical(int(bench.ptrs[1])) + off, "u32")
+        assert (v0, v1) == (3, 6)
+
+    def test_vfunc_calls_scale_with_objects(self):
+        m = _machine()
+        bench = ObjectMicrobench(m, num_objects=96, num_types=3)
+        stats = bench.run()
+        assert stats.vfunc_calls == 96
+
+    def test_rejects_zero_types(self):
+        with pytest.raises(ValueError):
+            ObjectMicrobench(_machine(), 32, 0)
+
+    @pytest.mark.parametrize("tech", ["cuda", "coal", "typepointer"])
+    def test_runs_under_all_fig12_techniques(self, tech):
+        bench = ObjectMicrobench(_machine(tech), 64, 4)
+        stats = bench.run()
+        assert stats.cycles > 0
+
+
+class TestBranchMicrobench:
+    def test_no_dispatch_memory(self):
+        m = _machine()
+        bench = BranchMicrobench(m, num_threads=64, num_types=4)
+        stats = bench.run()
+        from repro.gpu.isa import ROLE_LOAD_VTABLE
+
+        assert ROLE_LOAD_VTABLE not in stats.role_transactions
+        assert stats.vfunc_calls == 0
+
+    def test_payload_executes(self):
+        m = _machine()
+        bench = BranchMicrobench(m, num_threads=32, num_types=2)
+        bench.run(iterations=2)
+        data = bench.data.read()
+        # type k adds k+1 per iteration; thread i has type i%2
+        assert data[0] == 2 and data[1] == 4
+
+    def test_instructions_grow_with_types(self):
+        m1 = _machine()
+        s1 = BranchMicrobench(m1, 64, 1).run()
+        m2 = _machine()
+        s2 = BranchMicrobench(m2, 64, 8).run()
+        assert s2.total_warp_instrs > s1.total_warp_instrs
+
+    def test_branch_cheaper_than_cuda_dispatch(self):
+        mb = _machine()
+        branch = BranchMicrobench(mb, 256, 4).run()
+        mo = _machine("cuda")
+        cuda = ObjectMicrobench(mo, 256, 4).run()
+        assert branch.cycles < cuda.cycles
+        assert (branch.global_load_transactions
+                < cuda.global_load_transactions)
+
+    def test_rejects_zero_types(self):
+        with pytest.raises(ValueError):
+            BranchMicrobench(_machine(), 32, 0)

@@ -1,0 +1,85 @@
+"""Tests for the MMU model: tag handling per operating mode."""
+import numpy as np
+import pytest
+
+from repro.errors import MMUFault
+from repro.memory.address_space import PAGE_SIZE, encode_tag
+from repro.memory.heap import Heap
+from repro.memory.mmu import MMU, MMUMode
+
+
+@pytest.fixture
+def mmu(heap):
+    heap.sbrk(1 << 16)
+    return MMU(heap)
+
+
+def _arr(*vals):
+    return np.array(vals, dtype=np.uint64)
+
+
+def test_baseline_passes_canonical(mmu):
+    out = mmu.translate(_arr(0x1000, 0x2000))
+    np.testing.assert_array_equal(out, _arr(0x1000, 0x2000))
+
+
+def test_baseline_faults_on_tag(mmu):
+    with pytest.raises(MMUFault):
+        mmu.translate(_arr(encode_tag(0x1000, 5)))
+    assert mmu.stats.faults == 1
+
+
+def test_prototype_faults_on_tag(mmu):
+    mmu.set_mode(MMUMode.PROTOTYPE)
+    with pytest.raises(MMUFault):
+        mmu.translate(_arr(encode_tag(0x1000, 5)))
+
+
+def test_typepointer_strips_tag(mmu):
+    mmu.set_mode(MMUMode.TYPEPOINTER)
+    out = mmu.translate(_arr(encode_tag(0x1000, 5), 0x2000))
+    np.testing.assert_array_equal(out, _arr(0x1000, 0x2000))
+    assert mmu.stats.tag_strips == 1
+    assert mmu.stats.faults == 0
+
+
+def test_mixed_tagged_untagged_typepointer(mmu):
+    mmu.set_mode(MMUMode.TYPEPOINTER)
+    ptrs = _arr(encode_tag(0x1000, 1), 0x1008, encode_tag(0x1010, 2))
+    out = mmu.translate(ptrs)
+    np.testing.assert_array_equal(out, _arr(0x1000, 0x1008, 0x1010))
+
+
+def test_translation_counter(mmu):
+    mmu.translate(_arr(0x100))
+    mmu.translate(_arr(0x200))
+    assert mmu.stats.translations == 2
+
+
+def test_page_mapping_counts_distinct_pages(mmu):
+    mmu.translate(_arr(0x100, 0x200))                   # one page
+    assert mmu.mapped_page_count == 1
+    mmu.translate(_arr(PAGE_SIZE + 0x10))               # second page
+    assert mmu.mapped_page_count == 2
+    mmu.translate(_arr(0x300))                          # already mapped
+    assert mmu.mapped_page_count == 2
+    assert mmu.stats.pages_mapped == 2
+
+
+def test_translate_scalar(mmu):
+    assert mmu.translate_scalar(0x1234) == 0x1234
+    mmu.set_mode(MMUMode.TYPEPOINTER)
+    assert mmu.translate_scalar(encode_tag(0x1234, 9)) == 0x1234
+
+
+def test_fault_message_mentions_mode(mmu):
+    with pytest.raises(MMUFault, match="baseline"):
+        mmu.translate(_arr(encode_tag(0x10, 1)))
+
+
+def test_stats_reset(mmu):
+    mmu.translate(_arr(0x100))
+    mmu.stats.reset()
+    assert mmu.stats.translations == 0
+    # page map survives reset (it's hardware state, not a counter)
+    assert mmu.mapped_page_count == 1

@@ -1,0 +1,75 @@
+"""Tests for DeviceArray charged/uncharged access semantics."""
+import numpy as np
+import pytest
+
+from repro.gpu.isa import InstrClass
+
+
+@pytest.fixture
+def m(machine_factory):
+    return machine_factory("cuda")
+
+
+def test_host_access_uncharged(m):
+    arr = m.array("u32", 64)
+    arr.write(np.arange(64, dtype=np.uint32))
+    arr.read()
+    arr[5] = 99
+    _ = arr[5]
+    assert m.run_stats.total_warp_instrs == 0
+
+
+def test_kernel_access_charged(m):
+    arr = m.array_from(np.arange(64, dtype=np.uint32), "u32")
+
+    def kernel(ctx):
+        arr.ld(ctx, ctx.tid)
+        arr.st(ctx, ctx.tid, np.zeros(ctx.lane_count, dtype=np.uint32))
+
+    stats = m.launch(kernel, 64)
+    assert stats.warp_instrs[InstrClass.MEM] == 4  # 2 per warp x 2 warps
+
+
+def test_gather_with_indirection(m):
+    arr = m.array_from(np.arange(100, dtype=np.float64) * 1.5, "f64")
+    idx = np.array([3, 97, 0, 41], dtype=np.int64)
+    out = {}
+
+    def kernel(ctx):
+        out["v"] = arr.ld(ctx, idx[: ctx.lane_count])
+
+    m.launch(kernel, 4)
+    np.testing.assert_array_equal(out["v"], idx * 1.5)
+
+
+def test_addr_arithmetic(m):
+    arr = m.array("u64", 10)
+    addrs = arr.addr(np.array([0, 1, 9], dtype=np.uint64))
+    assert addrs[1] - addrs[0] == 8
+    assert addrs[2] == arr.base + 72
+
+
+def test_out_of_bounds_kernel_access(m):
+    arr = m.array("u32", 4)
+
+    def kernel(ctx):
+        arr.ld(ctx, ctx.tid)  # tids 0..31 exceed the 4-element array
+
+    with pytest.raises(IndexError):
+        m.launch(kernel, 32)
+
+
+def test_write_shape_mismatch(m):
+    arr = m.array("u32", 4)
+    with pytest.raises(ValueError):
+        arr.write(np.zeros(5, dtype=np.uint32))
+
+
+def test_arrays_do_not_overlap(m):
+    a = m.array("u64", 100)
+    b = m.array("u64", 100)
+    assert b.base >= a.base + 800 or a.base >= b.base + 800
+
+
+def test_len(m):
+    assert len(m.array("u8", 7)) == 7

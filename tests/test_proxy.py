@@ -1,0 +1,109 @@
+"""Tests for host-side object proxies."""
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.runtime.proxy import ObjectProxy, proxies
+
+
+@pytest.fixture
+def dog(machine_factory, animals):
+    m = machine_factory("typepointer")
+    m.register(animals.Dog)
+    ptr = m.new_objects(animals.Dog, 1)[0]
+    return m, ptr, animals
+
+
+def test_field_read_write(dog):
+    m, ptr, animals = dog
+    p = ObjectProxy(m, ptr, animals.Animal)
+    assert p.age == 0
+    p.age = 7
+    assert p.age == 7
+    p.weight = 2.5
+    assert p.weight == pytest.approx(2.5)
+
+
+def test_writes_visible_to_kernels(dog, machine_factory):
+    m, ptr, animals = dog
+    import numpy as np
+
+    ObjectProxy(m, ptr, animals.Animal).age = 10
+    arr = m.array_from(np.array([ptr], dtype=np.uint64), "u64")
+
+    def kernel(ctx):
+        ctx.vcall(arr.ld(ctx, ctx.tid), animals.Animal, "speak")
+
+    m.launch(kernel, 1)
+    assert ObjectProxy(m, ptr, animals.Animal).age == 11  # Dog adds 1
+
+
+def test_unknown_field_raises_attribute_error(dog):
+    m, ptr, animals = dog
+    p = ObjectProxy(m, ptr, animals.Animal)
+    with pytest.raises(AttributeError):
+        _ = p.nonexistent
+    with pytest.raises(AttributeError):
+        p.nonexistent = 1
+
+
+def test_type_of_ground_truth(dog):
+    m, ptr, animals = dog
+    p = ObjectProxy(m, ptr, animals.Animal)
+    assert p.type_of() is animals.Dog
+
+
+def test_type_of_dead_object(dog):
+    m, ptr, animals = dog
+    m.free_objects([ptr])
+    p = ObjectProxy(m, ptr, animals.Animal)
+    with pytest.raises(TypeSystemError):
+        p.type_of()
+
+
+def test_cpu_side_dispatch_uses_dynamic_type(machine_factory, animals):
+    m = machine_factory("sharedoa")
+    m.register(animals.Puppy)
+    ptr = m.new_objects(animals.Puppy, 1)[0]
+    # static type Animal, dynamic type Puppy: resolves Puppy::speak
+    p = ObjectProxy(m, ptr, animals.Animal)
+    impl = p.call("speak")
+    assert impl is animals.Puppy.vtable_impls()[animals.Animal.slot_of("speak")]
+
+
+def test_pure_virtual_cpu_call(machine_factory, animals):
+    m = machine_factory("cuda")
+    m.register(animals.Animal)
+    ptr = m.new_objects(animals.Animal, 1)[0]
+    with pytest.raises(TypeSystemError):
+        ObjectProxy(m, ptr, animals.Animal).call("speak")
+
+
+def test_tagged_pointer_transparent(dog):
+    m, ptr, animals = dog
+    p = ObjectProxy(m, ptr, animals.Animal)
+    assert p.ptr != p.address  # TypePointer tags present
+    assert "tagged" in repr(p)
+
+
+def test_fields_dict(dog):
+    m, ptr, animals = dog
+    p = ObjectProxy(m, ptr, animals.Animal)
+    p.age = 4
+    d = p.fields()
+    assert d["age"] == 4 and "weight" in d
+
+
+def test_host_access_uncharged(dog):
+    m, ptr, animals = dog
+    p = ObjectProxy(m, ptr, animals.Animal)
+    p.age = 1
+    _ = p.age
+    assert m.run_stats.total_warp_instrs == 0
+
+
+def test_batch_proxies(machine_factory, animals):
+    m = machine_factory("cuda")
+    ptrs = m.new_objects(animals.Cat, 5)
+    ps = proxies(m, ptrs, animals.Animal)
+    assert len(ps) == 5
+    assert all(x.type_of() is animals.Cat for x in ps)

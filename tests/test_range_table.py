@@ -1,0 +1,143 @@
+"""Tests for the virtual range table / segment tree (Algorithm 1)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.range_table import EMPTY_MIN, NODE_BYTES, VirtualRangeTable
+from repro.memory.heap import Heap
+
+
+def _table(heap, ranges):
+    """Build a table with fake vTable addresses 1000+i per range."""
+    payload = {t: 1000 + i for i, (_, _, t) in enumerate(ranges)}
+    return VirtualRangeTable(heap, ranges, lambda t: payload[t]), payload
+
+
+class TestConstruction:
+    def test_single_range(self, heap):
+        t, pay = _table(heap, [(100, 200, "A")])
+        assert t.depth == 0
+        assert t.tree_size == 1
+        assert t.scalar_lookup(150) == pay["A"]
+        assert t.scalar_lookup(99) is None
+        assert t.scalar_lookup(200) is None
+
+    def test_pow2_padding(self, heap):
+        t, _ = _table(heap, [(0, 10, "A"), (10, 20, "B"), (20, 30, "C")])
+        assert t.num_leaves == 4
+        assert t.tree_size == 7
+        assert t.depth == 2
+
+    def test_overlapping_ranges_rejected(self, heap):
+        with pytest.raises(ValueError):
+            _table(heap, [(0, 100, "A"), (50, 150, "B")])
+
+    def test_adjacent_ranges_ok(self, heap):
+        t, pay = _table(heap, [(0, 100, "A"), (100, 200, "B")])
+        assert t.scalar_lookup(99) == pay["A"]
+        assert t.scalar_lookup(100) == pay["B"]
+
+    def test_empty_leaf_sentinels(self, heap):
+        t, _ = _table(heap, [(0, 10, "A"), (10, 20, "B"), (20, 30, "C")])
+        # padding leaf must never match
+        lo, hi, payload = t._read_node(t.tree_size - 1)
+        assert lo == EMPTY_MIN and hi == 0 and payload == 0
+
+    def test_nodes_stored_in_heap(self, heap):
+        brk_before = heap.brk
+        t, _ = _table(heap, [(0, 10, "A"), (10, 20, "B")])
+        assert heap.brk >= brk_before + t.tree_size * NODE_BYTES
+
+
+class TestScalarLookup:
+    def test_matches_linear_scan(self, heap):
+        ranges = [(i * 100, i * 100 + 60, f"T{i}") for i in range(1, 9)]
+        t, _ = _table(heap, ranges)
+        for addr in range(80, 900, 7):
+            assert t.scalar_lookup(addr) == t.linear_lookup(addr)
+
+    def test_gap_between_ranges_returns_none(self, heap):
+        t, _ = _table(heap, [(0, 50, "A"), (100, 150, "B")])
+        assert t.scalar_lookup(75) is None
+
+
+class _FakeCtx:
+    """Minimal execution-context stub counting charged operations."""
+
+    def __init__(self, heap):
+        self.heap = heap
+        self.loads = 0
+        self.alus = 0
+        self.ctrls = 0
+
+    def charged_load(self, addrs, width, role=None):
+        self.loads += 1
+
+    def peek(self, addrs, dtype="u64"):
+        return self.heap.gather(np.asarray(addrs, dtype=np.uint64), dtype)
+
+    def alu(self, n=1, op=None, role=None):
+        self.alus += n
+
+    def ctrl(self, n=1, op=None, role=None):
+        self.ctrls += n
+
+
+class TestWarpLookup:
+    def test_warp_lookup_matches_scalar(self, heap):
+        ranges = [(i * 64, i * 64 + 64, f"T{i}") for i in range(5)]
+        t, _ = _table(heap, ranges)
+        ctx = _FakeCtx(heap)
+        addrs = np.array([5, 70, 200, 319, 64, 128], dtype=np.uint64)
+        out = t.lookup_warp(ctx, addrs, role="x")
+        expect = [t.scalar_lookup(int(a)) for a in addrs]
+        np.testing.assert_array_equal(out, np.array(expect, dtype=np.uint64))
+
+    def test_lookup_cost_is_logarithmic(self, heap):
+        ranges = [(i * 64, i * 64 + 64, f"T{i}") for i in range(8)]
+        t, _ = _table(heap, ranges)
+        ctx = _FakeCtx(heap)
+        t.lookup_warp(ctx, np.array([5], dtype=np.uint64), role="x")
+        # depth=3 levels + 1 payload load
+        assert t.depth == 3
+        assert ctx.loads == t.depth + 1
+
+    def test_unmatched_address_raises(self, heap):
+        from repro.errors import DispatchError
+
+        t, _ = _table(heap, [(100, 200, "A"), (300, 400, "B")])
+        ctx = _FakeCtx(heap)
+        with pytest.raises(DispatchError):
+            t.lookup_warp(ctx, np.array([250], dtype=np.uint64), role="x")
+
+    def test_single_range_warp_lookup(self, heap):
+        from repro.errors import DispatchError
+
+        t, pay = _table(heap, [(100, 200, "A")])
+        ctx = _FakeCtx(heap)
+        out = t.lookup_warp(ctx, np.array([150, 199], dtype=np.uint64), "x")
+        assert list(out) == [pay["A"], pay["A"]]
+        with pytest.raises(DispatchError):
+            t.lookup_warp(ctx, np.array([250], dtype=np.uint64), "x")
+
+
+@given(
+    widths=st.lists(st.integers(8, 512), min_size=1, max_size=24),
+    gaps=st.lists(st.integers(0, 64), min_size=1, max_size=24),
+    probes=st.lists(st.integers(0, 1 << 15), min_size=1, max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_tree_equals_linear_scan_property(widths, gaps, probes):
+    """For random non-overlapping ranges, Algorithm 1 == linear scan."""
+    n = min(len(widths), len(gaps))
+    ranges = []
+    cursor = 16
+    for i in range(n):
+        base = cursor + gaps[i]
+        end = base + widths[i]
+        ranges.append((base, end, f"T{i}"))
+        cursor = end
+    heap = Heap(capacity=1 << 20)
+    t, _ = _table(heap, ranges)
+    for p in probes:
+        assert t.scalar_lookup(p) == t.linear_lookup(p)

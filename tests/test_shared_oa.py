@@ -1,0 +1,184 @@
+"""Tests for SharedOA: regions, doubling, merging, range table."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocatorError, DoubleFree
+from repro.memory.heap import Heap
+from repro.memory.shared_oa import SharedOAAllocator
+
+
+@pytest.fixture
+def soa(heap):
+    return SharedOAAllocator(heap, initial_chunk_objects=4)
+
+
+class TestPlacement:
+    def test_same_type_packed_contiguously(self, soa):
+        ptrs = [soa.alloc_object("A", 24) for _ in range(4)]
+        strides = np.diff(ptrs)
+        assert (strides == 24).all()
+
+    def test_types_in_disjoint_regions(self, soa):
+        a = [soa.alloc_object("A", 16) for _ in range(4)]
+        b = [soa.alloc_object("B", 16) for _ in range(4)]
+        ranges = soa.ranges()
+        assert len(ranges) == 2
+        (a0, a1, ta), (b0, b1, tb) = ranges
+        assert a1 <= b0
+        assert {ta, tb} == {"A", "B"}
+        assert all(a0 <= p < a1 for p in (a if ta == "A" else b))
+
+    def test_natural_stride_no_internal_fragmentation(self, soa):
+        # objects packed at 8-byte-aligned natural stride (section 4)
+        p0 = soa.alloc_object("A", 20)
+        p1 = soa.alloc_object("A", 20)
+        assert p1 - p0 == 24  # align8(20)
+
+    def test_inconsistent_size_rejected(self, soa):
+        soa.alloc_object("A", 16)
+        with pytest.raises(AllocatorError):
+            soa.alloc_object("A", 64)
+
+
+class TestGrowthAndMerging:
+    def test_region_doubling(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=4,
+                                merge_adjacent=False)
+        for _ in range(4 + 8 + 16):
+            soa.alloc_object("A", 16)
+        caps = [r.capacity for r in soa.regions_of("A")]
+        assert caps == [4, 8, 16]
+
+    def test_adjacent_regions_merge(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=4)
+        # no interleaving allocations: the doubled region lands adjacent
+        for _ in range(12):
+            soa.alloc_object("A", 16)
+        assert soa.region_count() == 1
+        assert soa.regions_of("A")[0].capacity >= 12
+
+    def test_interleaved_types_do_not_merge(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=2)
+        for _ in range(3):
+            soa.alloc_object("A", 16)
+            soa.alloc_object("B", 16)
+        # A and B regions alternate in the address space: no merge
+        assert soa.region_count() >= 3
+
+    def test_merge_disabled(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=2,
+                                merge_adjacent=False)
+        for _ in range(6):
+            soa.alloc_object("A", 16)
+        assert soa.region_count() == 2
+
+    def test_range_table_version_bumps_on_growth(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=2)
+        v0 = soa.range_table_version
+        soa.alloc_object("A", 16)
+        v1 = soa.range_table_version
+        assert v1 > v0
+        soa.alloc_object("A", 16)  # fits in existing region
+        assert soa.range_table_version == v1
+
+    def test_custom_growth_factor(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=2,
+                                growth_factor=4, merge_adjacent=False)
+        for _ in range(2 + 8):
+            soa.alloc_object("A", 16)
+        assert [r.capacity for r in soa.regions_of("A")] == [2, 8]
+
+
+class TestFreeing:
+    def test_free_and_reuse_slot(self, soa):
+        a = soa.alloc_object("A", 16)
+        soa.free_object(a)
+        b = soa.alloc_object("A", 16)
+        assert b == a
+
+    def test_double_free(self, soa):
+        a = soa.alloc_object("A", 16)
+        soa.free_object(a)
+        with pytest.raises(DoubleFree):
+            soa.free_object(a)
+
+    def test_region_live_counts(self, soa):
+        ptrs = [soa.alloc_object("A", 16) for _ in range(4)]
+        region = soa.regions_of("A")[0]
+        assert region.live == 4
+        soa.free_object(ptrs[1])
+        assert region.live == 3
+
+
+class TestLookup:
+    def test_type_of_address(self, soa):
+        a = soa.alloc_object("A", 16)
+        b = soa.alloc_object("B", 16)
+        assert soa.type_of_address(a) == "A"
+        assert soa.type_of_address(b) == "B"
+        assert soa.type_of_address(5) is None
+
+    def test_every_live_object_in_exactly_one_range(self, soa):
+        for i in range(30):
+            soa.alloc_object(f"T{i % 3}", 16)
+        ranges = soa.ranges()
+        for addr, tkey, _ in soa.live_objects():
+            hits = [t for (b, e, t) in ranges if b <= addr < e]
+            assert hits == [tkey]
+
+
+class TestFragmentation:
+    def test_fragmentation_grows_with_chunk_size(self):
+        frags = []
+        for chunk in (4, 64, 1024):
+            heap = Heap(capacity=1 << 20)
+            soa = SharedOAAllocator(heap, initial_chunk_objects=chunk)
+            for _ in range(40):
+                soa.alloc_object("A", 16)
+            frags.append(soa.external_fragmentation())
+        assert frags[0] < frags[-1]
+
+    def test_full_region_zero_fragmentation(self, heap):
+        soa = SharedOAAllocator(heap, initial_chunk_objects=4)
+        for _ in range(4):
+            soa.alloc_object("A", 16)
+        assert soa.external_fragmentation() == pytest.approx(0.0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 2), st.booleans()),
+        min_size=1, max_size=80,
+    ),
+    chunk=st.sampled_from([1, 2, 4, 16]),
+)
+@settings(max_examples=30, deadline=None)
+def test_invariants_under_alloc_free_property(ops, chunk):
+    """No overlap; every live object inside exactly one same-type range."""
+    heap = Heap(capacity=1 << 20)
+    soa = SharedOAAllocator(heap, initial_chunk_objects=chunk)
+    live = {0: [], 1: [], 2: []}
+    sizes = {0: 16, 1: 24, 2: 40}
+    for type_id, is_free in ops:
+        if is_free and live[type_id]:
+            soa.free_object(live[type_id].pop())
+        else:
+            live[type_id].append(soa.alloc_object(type_id, sizes[type_id]))
+
+    # ranges must not overlap
+    ranges = soa.ranges()
+    for (b0, e0, _), (b1, _, _) in zip(ranges, ranges[1:]):
+        assert e0 <= b1
+    # each live object inside exactly one range, of its own type
+    for t, ptrs in live.items():
+        for p in ptrs:
+            hits = [(b, e, rt) for (b, e, rt) in ranges if b <= p < e]
+            assert len(hits) == 1
+            assert hits[0][2] == t
+    # live objects never overlap each other
+    spans = sorted(
+        (p, p + sizes[t]) for t, ptrs in live.items() for p in ptrs
+    )
+    for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+        assert a1 <= b0

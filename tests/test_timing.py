@@ -1,0 +1,94 @@
+"""Tests for the roofline timing model."""
+import pytest
+
+from repro.gpu.config import GPUConfig, small_config
+from repro.gpu.isa import InstrClass
+from repro.gpu.stats import KernelStats
+from repro.gpu.timing import (
+    bottleneck,
+    compute_cycles,
+    finalize_timing,
+    memory_cycles,
+)
+
+
+def _stats(compute=0, mem_instrs=0, l1=0, l2=0, dram=0, rows=0):
+    s = KernelStats()
+    s.warp_instrs[InstrClass.COMPUTE] = compute
+    s.warp_instrs[InstrClass.MEM] = mem_instrs
+    s.l1_accesses = l1
+    s.l2_accesses = l2
+    s.dram_accesses = dram
+    s.dram_row_misses = rows
+    return s
+
+
+def test_compute_cycles_scale_with_issue_width():
+    cfg = GPUConfig(num_sms=4, schedulers_per_sm=2)
+    s = _stats(compute=80)
+    assert compute_cycles(s, cfg) == pytest.approx(10.0)
+
+
+def test_memory_cycles_sum_levels():
+    cfg = GPUConfig(
+        l1_sectors_per_cycle=10.0, l2_sectors_per_cycle=5.0,
+        dram_sectors_per_cycle=2.0, dram_row_miss_penalty_sectors=0.0,
+    )
+    s = _stats(l1=100, l2=50, dram=20)
+    assert memory_cycles(s, cfg) == pytest.approx(10 + 10 + 10)
+
+
+def test_row_misses_penalised():
+    cfg = GPUConfig(
+        dram_sectors_per_cycle=2.0, dram_row_miss_penalty_sectors=8.0,
+    )
+    base = memory_cycles(_stats(dram=20), cfg)
+    worse = memory_cycles(_stats(dram=20, rows=10), cfg)
+    assert worse == pytest.approx(base + 10 * 8.0 / 2.0)
+
+
+def test_finalize_adds_components_and_overheads():
+    cfg = small_config()
+    s = _stats(compute=160, l1=32)
+    finalize_timing(s, cfg)
+    expected = (
+        s.compute_cycles + s.memory_cycles
+        + cfg.kernel_launch_cycles + cfg.base_memory_latency_cycles
+    )
+    assert s.cycles == pytest.approx(expected)
+    assert s.compute_cycles > 0 and s.memory_cycles > 0
+
+
+def test_bottleneck_classification():
+    s = _stats()
+    s.compute_cycles, s.memory_cycles = 10.0, 5.0
+    assert bottleneck(s) == "compute"
+    s.compute_cycles, s.memory_cycles = 1.0, 5.0
+    assert bottleneck(s) == "memory"
+
+
+def test_empty_launch_not_free():
+    cfg = small_config()
+    s = _stats()
+    finalize_timing(s, cfg)
+    assert s.cycles >= cfg.kernel_launch_cycles
+
+
+def test_cycles_to_seconds():
+    cfg = GPUConfig(core_clock_ghz=1.0)
+    assert cfg.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+
+def test_issue_width():
+    cfg = GPUConfig(num_sms=80, schedulers_per_sm=4)
+    assert cfg.issue_width == 320
+
+
+def test_stats_merge_consistency():
+    a = _stats(compute=10, l1=5, dram=2, rows=1)
+    b = _stats(compute=20, l1=7, dram=3, rows=2)
+    a.merge(b)
+    assert a.warp_instrs[InstrClass.COMPUTE] == 30
+    assert a.l1_accesses == 12
+    assert a.dram_accesses == 5
+    assert a.dram_row_misses == 3

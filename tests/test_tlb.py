@@ -1,0 +1,108 @@
+"""Tests for the TLB hierarchy model."""
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.gpu.config import small_config
+from repro.gpu.tlb import TLBHierarchy, _LRUSet
+from repro.memory.address_space import PAGE_SIZE
+
+
+class TestLRUSet:
+    def test_hit_after_insert(self):
+        s = _LRUSet(4)
+        assert s.access(1) is False
+        assert s.access(1) is True
+
+    def test_lru_eviction(self):
+        s = _LRUSet(2)
+        s.access(1)
+        s.access(2)
+        s.access(1)       # refresh 1
+        s.access(3)       # evicts 2
+        assert s.access(1) is True
+        assert s.access(2) is False
+
+    def test_flush(self):
+        s = _LRUSet(2)
+        s.access(1)
+        s.flush()
+        assert s.access(1) is False
+
+
+class TestTLBHierarchy:
+    def test_l1_then_l2_then_walk(self):
+        tlb = TLBHierarchy(num_sms=2, l1_entries=1, l2_entries=4)
+        a = np.array([0], dtype=np.uint64)
+        b = np.array([PAGE_SIZE], dtype=np.uint64)
+        assert tlb.translate_pages(0, a) == 1     # cold: walk
+        assert tlb.translate_pages(0, b) == 1     # evicts page 0 from L1
+        assert tlb.translate_pages(0, a) == 0     # L1 miss, L2 hit
+        assert tlb.stats.l2_hits == 1
+        assert tlb.stats.walks == 2
+
+    def test_per_sm_l1(self):
+        tlb = TLBHierarchy(num_sms=2)
+        a = np.array([0], dtype=np.uint64)
+        tlb.translate_pages(0, a)
+        walks = tlb.translate_pages(1, a)   # L1 cold on SM1, L2 hot
+        assert walks == 0
+        assert tlb.stats.l2_hits == 1
+
+    def test_warp_counts_unique_pages_once(self):
+        tlb = TLBHierarchy(num_sms=1)
+        addrs = np.array([0, 8, 16, PAGE_SIZE + 4], dtype=np.uint64)
+        tlb.translate_pages(0, addrs)
+        assert tlb.stats.l1_accesses == 2  # two distinct pages
+
+
+class TestMachineIntegration:
+    def test_tlb_off_by_default(self, machine_factory):
+        m = machine_factory("cuda")
+        assert m.tlb is None
+
+    def _tlb_machine(self, technique):
+        cfg = dataclasses.replace(small_config(), model_tlb=True,
+                                  tlb_l1_entries=4, tlb_l2_entries=8)
+        return Machine(technique, config=cfg)
+
+    def test_walks_counted_and_charged(self, animals):
+        m = self._tlb_machine("cuda")
+        dogs = m.new_objects(animals.Dog, 512)
+        arr = m.array_from(dogs, "u64")
+
+        def kernel(ctx):
+            ctx.vcall(arr.ld(ctx, ctx.tid), animals.Animal, "speak")
+
+        stats = m.launch(kernel, 512)
+        assert stats.tlb_walks > 0
+        # walks add to memory time
+        base = self._tlb_machine("cuda")
+        # identical machine without TLB modelling
+        m2 = Machine("cuda", config=small_config())
+        dogs2 = m2.new_objects(animals.Cat, 512)  # same size population
+        arr2 = m2.array_from(dogs2, "u64")
+
+        def kernel2(ctx):
+            ctx.vcall(arr2.ld(ctx, ctx.tid), animals.Animal, "speak")
+
+        stats2 = m2.launch(kernel2, 512)
+        assert stats2.tlb_walks == 0
+
+    def test_scattered_layout_walks_more(self, animals):
+        """The CUDA allocator's scattered arenas touch more pages per
+        warp than SharedOA's packed regions -- the TLB channel."""
+        walks = {}
+        for tech in ("cuda", "sharedoa"):
+            m = self._tlb_machine(tech)
+            objs = m.new_objects(animals.Dog, 2048)
+            arr = m.array_from(objs, "u64")
+
+            def kernel(ctx):
+                ctx.vcall(arr.ld(ctx, ctx.tid), animals.Animal, "speak")
+
+            stats = m.launch(kernel, 2048)
+            walks[tech] = m.tlb.stats.l1_accesses
+        assert walks["cuda"] > walks["sharedoa"]

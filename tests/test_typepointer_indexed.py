@@ -1,0 +1,125 @@
+"""Tests for the index-encoded TypePointer fallback (section 6.1/6.2).
+
+When programs need more vTable bytes than the 15 tag bits can address
+directly, the paper's fallback stores a type *index* and multiplies it
+by a padded table stride with a fused multiply-add -- reaching 32K
+types at the cost of padding every table.
+"""
+import numpy as np
+import pytest
+
+from repro.errors import TypeTagOverflow
+from repro.gpu.isa import Opcode
+from repro.memory.address_space import decode_tag
+from repro.runtime.typesystem import TypeDescriptor
+from repro.runtime.vtable import VTableArena
+
+from conftest import read_age
+
+
+def _speak_kernel(machine, ptrs, static_type):
+    arr = machine.array_from(ptrs, "u64")
+
+    def kernel(ctx):
+        ctx.vcall(arr.ld(ctx, ctx.tid), static_type, "speak")
+
+    return kernel
+
+
+def test_dispatch_correct_through_indices(machine_factory, animals):
+    m = machine_factory("typepointer_indexed")
+    m.register(animals.Dog, animals.Cat)
+    dogs = m.new_objects(animals.Dog, 16)
+    cats = m.new_objects(animals.Cat, 16)
+    ptrs = np.concatenate([dogs, cats])
+    m.launch(_speak_kernel(m, ptrs, animals.Animal), 32)
+    assert all(read_age(m, animals, p) == 1 for p in dogs)
+    assert all(read_age(m, animals, p) == 2 for p in cats)
+
+
+def test_tags_are_small_indices_not_offsets(machine_factory, animals):
+    m = machine_factory("typepointer_indexed")
+    dog = m.new_objects(animals.Dog, 1)[0]
+    cat = m.new_objects(animals.Cat, 1)[0]
+    # indices are tiny consecutive integers, not byte offsets
+    assert decode_tag(int(dog)) in (1, 2)
+    assert decode_tag(int(cat)) in (1, 2)
+    assert decode_tag(int(dog)) != decode_tag(int(cat))
+
+
+def test_index_zero_reserved(heap):
+    arena = VTableArena(heap)
+    T = TypeDescriptor("Idx0", methods={"f": lambda ctx, o: None})
+    assert arena.index_for_type(T) >= 1
+
+
+def test_index_stable(heap):
+    arena = VTableArena(heap)
+    T = TypeDescriptor("IdxStable", methods={"f": lambda ctx, o: None})
+    assert arena.index_for_type(T) == arena.index_for_type(T)
+
+
+def test_padded_table_readable(heap):
+    def f(ctx, objs):
+        pass
+
+    arena = VTableArena(heap)
+    T = TypeDescriptor("IdxRead", methods={"f": f})
+    idx = arena.index_for_type(T)
+    addr = arena.indexed_base + idx * arena.padded_table_stride()
+    fn = int(heap.load(addr, "u64"))
+    assert arena.impl_of_code_addr(fn) is f
+    assert arena.type_of_index(idx) is T
+
+
+def test_too_many_methods_rejected(heap):
+    arena = VTableArena(heap)
+    methods = {f"m{i}": (lambda ctx, o: None)
+               for i in range(arena.INDEXED_SLOTS + 1)}
+    T = TypeDescriptor("IdxBig", methods=methods)
+    with pytest.raises(TypeTagOverflow):
+        arena.index_for_type(T)
+
+
+def test_index_mode_reaches_more_types_than_offset_mode(heap):
+    """The point of the fallback: with many wide types, byte offsets
+    exhaust the 32KiB arena while indices keep going."""
+    def f(ctx, objs):
+        pass
+
+    arena = VTableArena(heap)
+    methods = {f"m{i}": f for i in range(16)}  # 128B per table
+    # offset mode dies after ~255 such types (32KiB / 128B)
+    with pytest.raises(TypeTagOverflow):
+        for i in range(400):
+            arena.ensure_type(TypeDescriptor(f"Wide{i}", methods=methods))
+    # index mode happily assigns indices beyond that point
+    arena2 = VTableArena(heap)
+    for i in range(400):
+        arena2.index_for_type(TypeDescriptor(f"WideI{i}", methods=methods))
+    assert arena2._index_cursor > 256
+
+
+def test_ffma_charged_instead_of_add(machine_factory, animals):
+    m_idx = machine_factory("typepointer_indexed")
+    dogs = m_idx.new_objects(animals.Dog, 32)
+    stats = m_idx.launch(_speak_kernel(m_idx, dogs, animals.Animal), 32)
+    # still zero operation-A memory traffic
+    from repro.gpu.isa import ROLE_LOAD_VTABLE
+
+    assert stats.role_transactions.get(ROLE_LOAD_VTABLE, 0) == 0
+
+
+def test_performance_equivalent_to_offset_mode(machine_factory, animals):
+    cycles = {}
+    for tech in ("typepointer", "typepointer_indexed"):
+        m = machine_factory(tech)
+        m.register(animals.Dog, animals.Cat)
+        dogs = m.new_objects(animals.Dog, 256)
+        cats = m.new_objects(animals.Cat, 256)
+        ptrs = np.concatenate([dogs, cats])
+        stats = m.launch(_speak_kernel(m, ptrs, animals.Animal), 512)
+        cycles[tech] = stats.cycles
+    # within a few percent: one FFMA swapped for one ADD (section 6.2)
+    ratio = cycles["typepointer_indexed"] / cycles["typepointer"]
+    assert 0.9 < ratio < 1.1

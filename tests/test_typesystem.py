@@ -1,0 +1,157 @@
+"""Tests for TypeDescriptor, layouts and the registry."""
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.runtime.typesystem import (
+    TypeDescriptor,
+    TypeRegistry,
+    compute_layout,
+)
+
+
+def _impl(ctx, objs):
+    pass
+
+
+def _impl2(ctx, objs):
+    pass
+
+
+class TestHierarchy:
+    def test_mro_base_to_derived(self):
+        A = TypeDescriptor("A1")
+        B = TypeDescriptor("B1", base=A)
+        C = TypeDescriptor("C1", base=B)
+        assert C.mro() == [A, B, C]
+
+    def test_fields_accumulate_base_first(self):
+        A = TypeDescriptor("A2", fields=[("x", "u32")])
+        B = TypeDescriptor("B2", fields=[("y", "f64")], base=A)
+        assert [f.name for f in B.all_fields()] == ["x", "y"]
+
+    def test_duplicate_field_rejected(self):
+        A = TypeDescriptor("A3", fields=[("x", "u32")])
+        with pytest.raises(TypeSystemError):
+            TypeDescriptor("B3", fields=[("x", "u32")], base=A)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(TypeSystemError):
+            TypeDescriptor("A4", fields=[("x", "u128")])
+
+    def test_is_subtype_of(self):
+        A = TypeDescriptor("A5")
+        B = TypeDescriptor("B5", base=A)
+        assert B.is_subtype_of(A)
+        assert B.is_subtype_of(B)
+        assert not A.is_subtype_of(B)
+
+
+class TestVTableSlots:
+    def test_slots_assigned_in_declaration_order(self):
+        A = TypeDescriptor("A6", methods={"f": None, "g": None})
+        assert A.vtable_slots() == {"f": 0, "g": 1}
+
+    def test_override_keeps_slot(self):
+        A = TypeDescriptor("A7", methods={"f": _impl, "g": None})
+        B = TypeDescriptor("B7", base=A, methods={"f": _impl2})
+        assert B.vtable_slots() == {"f": 0, "g": 1}
+        assert B.vtable_impls()[0] is _impl2
+
+    def test_new_methods_extend_table(self):
+        A = TypeDescriptor("A8", methods={"f": _impl})
+        B = TypeDescriptor("B8", base=A, methods={"h": _impl2})
+        assert B.vtable_slots() == {"f": 0, "h": 1}
+        assert A.num_virtual_methods() == 1
+        assert B.num_virtual_methods() == 2
+
+    def test_inherited_impl_resolves(self):
+        A = TypeDescriptor("A9", methods={"f": _impl})
+        B = TypeDescriptor("B9", base=A)
+        assert B.vtable_impls()[0] is _impl
+
+    def test_abstract_detection(self):
+        A = TypeDescriptor("A10", methods={"f": None})
+        B = TypeDescriptor("B10", base=A, methods={"f": _impl})
+        assert A.is_abstract()
+        assert not B.is_abstract()
+
+    def test_slot_of_unknown_method(self):
+        A = TypeDescriptor("A11", methods={"f": _impl})
+        with pytest.raises(TypeSystemError):
+            A.slot_of("nope")
+
+
+class TestLayout:
+    def test_fields_after_header_with_natural_alignment(self):
+        T = TypeDescriptor(
+            "L1", fields=[("a", "u8"), ("b", "u64"), ("c", "u32")]
+        )
+        lay = compute_layout(T, header_size=8)
+        assert lay.offset("a") == 8
+        assert lay.offset("b") == 16   # aligned up from 9
+        assert lay.offset("c") == 24
+        assert lay.size == 32          # rounded to 8
+
+    def test_header_size_shifts_offsets(self):
+        T = TypeDescriptor("L2", fields=[("a", "u32")])
+        assert compute_layout(T, 8).offset("a") == 8
+        assert compute_layout(T, 16).offset("a") == 16
+        assert compute_layout(T, 4).offset("a") == 4
+
+    def test_base_field_offset_consistent_in_subtype(self):
+        A = TypeDescriptor("L3", fields=[("x", "u32")])
+        B = TypeDescriptor("L4", fields=[("y", "u32")], base=A)
+        la = compute_layout(A, 8)
+        lb = compute_layout(B, 8)
+        assert la.offset("x") == lb.offset("x")
+
+    def test_unknown_field(self):
+        T = TypeDescriptor("L5", fields=[("a", "u32")])
+        lay = compute_layout(T, 8)
+        with pytest.raises(TypeSystemError):
+            lay.offset("zzz")
+        with pytest.raises(TypeSystemError):
+            lay.dtype("zzz")
+
+    def test_empty_type_has_nonzero_size(self):
+        T = TypeDescriptor("L6")
+        assert compute_layout(T, 8).size >= 8
+
+
+class TestRegistry:
+    def test_register_includes_bases(self):
+        A = TypeDescriptor("R1")
+        B = TypeDescriptor("R2", base=A)
+        reg = TypeRegistry(header_size=8)
+        reg.register(B)
+        assert len(reg) == 2
+        assert reg.type_id(A) != reg.type_id(B)
+
+    def test_type_ids_stable_and_reversible(self):
+        A = TypeDescriptor("R3")
+        reg = TypeRegistry(header_size=8)
+        reg.register(A)
+        tid = reg.type_id(A)
+        assert reg.by_id(tid) is A
+        with pytest.raises(TypeSystemError):
+            reg.by_id(999)
+
+    def test_same_name_different_object_rejected(self):
+        reg = TypeRegistry(header_size=8)
+        reg.register(TypeDescriptor("R4"))
+        with pytest.raises(TypeSystemError):
+            reg.register(TypeDescriptor("R4"))
+
+    def test_layout_cached_and_lazy(self):
+        A = TypeDescriptor("R5", fields=[("x", "u32")])
+        reg = TypeRegistry(header_size=16)
+        lay = reg.layout(A)  # implicit registration
+        assert lay.offset("x") == 16
+        assert reg.layout(A) is lay
+
+    def test_concrete_types_filter(self):
+        A = TypeDescriptor("R6", methods={"f": None})
+        B = TypeDescriptor("R7", base=A, methods={"f": _impl})
+        reg = TypeRegistry(header_size=8)
+        reg.register(B)
+        assert reg.concrete_types() == [B]

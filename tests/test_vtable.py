@@ -1,0 +1,108 @@
+"""Tests for the contiguous vTable arena."""
+import pytest
+
+from repro.errors import DispatchError, TypeTagOverflow
+from repro.memory.address_space import MAX_TAG
+from repro.memory.heap import Heap
+from repro.runtime.typesystem import TypeDescriptor
+from repro.runtime.vtable import ARENA_BYTES, VTableArena
+
+
+def _impl(ctx, objs):
+    pass
+
+
+def _impl2(ctx, objs):
+    pass
+
+
+@pytest.fixture
+def arena(heap):
+    return VTableArena(heap)
+
+
+def _type(name, methods):
+    return TypeDescriptor(name, methods=methods)
+
+
+def test_tables_are_contiguous(arena):
+    A = _type("VA1", {"f": _impl, "g": _impl})
+    B = _type("VB1", {"f": _impl})
+    off_a = arena.ensure_type(A)
+    off_b = arena.ensure_type(B)
+    assert off_b == off_a + 16  # two 8-byte entries in A's table
+
+
+def test_offset_zero_reserved_for_null_tag(arena):
+    A = _type("VA2", {"f": _impl})
+    assert arena.ensure_type(A) > 0
+    # a tag of 0 never resolves to a type (section 6.4 mixing detection)
+    with pytest.raises(DispatchError):
+        arena.type_of_tag(0)
+
+
+def test_ensure_type_idempotent(arena):
+    A = _type("VA3", {"f": _impl})
+    assert arena.ensure_type(A) == arena.ensure_type(A)
+    assert arena.num_tables() == 1
+
+
+def test_tag_fits_15_bits(arena):
+    A = _type("VA4", {"f": _impl})
+    assert 0 < arena.tag_for_type(A) <= MAX_TAG
+
+
+def test_vtable_entries_readable_from_heap(arena, heap):
+    A = _type("VA5", {"f": _impl, "g": _impl2})
+    addr = arena.vtable_addr(A)
+    fn_f = int(heap.load(addr, "u64"))
+    fn_g = int(heap.load(addr + 8, "u64"))
+    assert arena.impl_of_code_addr(fn_f) is _impl
+    assert arena.impl_of_code_addr(fn_g) is _impl2
+
+
+def test_shared_impl_shares_code_address(arena, heap):
+    A = _type("VA6", {"f": _impl})
+    B = TypeDescriptor("VB6", base=A)  # inherits f
+    fa = int(heap.load(arena.vtable_addr(A), "u64"))
+    fb = int(heap.load(arena.vtable_addr(B), "u64"))
+    assert fa == fb
+
+
+def test_pure_virtual_entry_is_null(arena, heap):
+    A = _type("VA7", {"f": None})
+    addr = arena.vtable_addr(A)
+    assert int(heap.load(addr, "u64")) == 0
+    with pytest.raises(DispatchError, match="pure-virtual"):
+        arena.impl_of_code_addr(0)
+
+
+def test_unknown_code_address_rejected(arena):
+    with pytest.raises(DispatchError):
+        arena.impl_of_code_addr(0xDEAD)
+
+
+def test_type_of_vtable_addr(arena):
+    A = _type("VA8", {"f": _impl})
+    assert arena.type_of_vtable_addr(arena.vtable_addr(A)) is A
+    with pytest.raises(DispatchError):
+        arena.type_of_vtable_addr(12345)
+
+
+def test_vfunc_entry_addr(arena):
+    A = _type("VA9", {"f": _impl, "g": _impl2})
+    assert arena.vfunc_entry_addr(A, 1) == arena.vtable_addr(A) + 8
+
+
+def test_arena_exhaustion(arena):
+    # fill the 32KiB arena with many large tables until it overflows
+    methods = {f"m{i}": _impl for i in range(64)}  # 512B per table
+    with pytest.raises(TypeTagOverflow):
+        for i in range(ARENA_BYTES // 512 + 2):
+            arena.ensure_type(_type(f"Big{i}", methods))
+
+
+def test_bytes_used_tracks_tables(arena):
+    before = arena.bytes_used
+    arena.ensure_type(_type("VA10", {"f": _impl, "g": _impl, "h": _impl}))
+    assert arena.bytes_used == before + 24

@@ -1,0 +1,77 @@
+"""Tests for the workload framework itself."""
+import pytest
+
+from repro.gpu.config import small_config
+from repro.gpu.machine import Machine
+from repro.workloads import (
+    WORKLOAD_REGISTRY,
+    make_workload,
+    workload_names,
+)
+from repro.workloads.base import PaperCharacteristics, Workload
+
+
+def test_registry_holds_all_eleven():
+    assert len(WORKLOAD_REGISTRY) == 11
+    assert workload_names() == [
+        "TRAF", "GOL", "STUT", "GEN",
+        "BFS-vE", "CC-vE", "PR-vE",
+        "BFS-vEN", "CC-vEN", "PR-vEN",
+        "RAY",
+    ]
+
+
+def test_make_workload_unknown_name():
+    m = Machine("cuda", config=small_config())
+    with pytest.raises(KeyError):
+        make_workload("NOPE", m)
+
+
+def test_paper_characteristics_attached():
+    for name, cls in WORKLOAD_REGISTRY.items():
+        assert isinstance(cls.paper, PaperCharacteristics), name
+        assert cls.paper.objects > 0
+        assert cls.paper.types >= 3
+        assert cls.paper.vfunc_pki > 0
+        assert cls.suite, name
+        assert cls.description, name
+
+
+def test_scale_must_be_positive():
+    m = Machine("cuda", config=small_config())
+    with pytest.raises(ValueError):
+        make_workload("RAY", m, scale=0)
+
+
+def test_run_excludes_setup_and_counts_iterations():
+    m = Machine("cuda", config=small_config())
+    wl = make_workload("TRAF", m, scale=0.04)
+    stats = wl.run(2)
+    # TRAF launches two kernels per iteration
+    assert m.launches == 4
+    assert stats.vfunc_calls > 0
+
+
+def test_run_continues_accumulating():
+    m = Machine("cuda", config=small_config())
+    wl = make_workload("TRAF", m, scale=0.04)
+    first = wl.run(1).cycles
+    second = wl.run(1).cycles
+    assert second > first  # accumulated run stats
+
+
+def test_scaled_minimum():
+    m = Machine("cuda", config=small_config())
+    wl = make_workload("RAY", m, scale=0.0001)
+    wl.setup()
+    assert wl.n_pixels >= 16 * 8  # clamped minima keep workloads sane
+
+
+def test_seed_controls_inputs():
+    sums = set()
+    for seed in (1, 2):
+        m = Machine("cuda", config=small_config())
+        wl = make_workload("GOL", m, scale=0.04, seed=seed)
+        wl.run(1)
+        sums.add(wl.checksum())
+    assert len(sums) == 2

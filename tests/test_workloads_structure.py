@@ -1,0 +1,79 @@
+"""Functional tests for the STUT spring/node fracture workload."""
+import numpy as np
+import pytest
+
+from repro.gpu.config import small_config
+from repro.gpu.machine import Machine
+from repro.workloads import make_workload
+
+
+@pytest.fixture
+def stut():
+    m = Machine("sharedoa", config=small_config())
+    wl = make_workload("STUT", m, scale=0.05, seed=4)
+    wl.setup()
+    wl._setup_done = True
+    return wl
+
+
+def _node_positions(wl):
+    m = wl.machine
+    lay = m.registry.layout(wl.NodeBase)
+    ox, oy = lay.offset("pos_x"), lay.offset("pos_y")
+    out = np.empty((len(wl.node_ptrs), 2), dtype=np.float32)
+    for i, p in enumerate(wl.node_ptrs):
+        c = m.allocator._canonical(int(p))
+        out[i, 0] = m.heap.load(c + ox, "f32")
+        out[i, 1] = m.heap.load(c + oy, "f32")
+    return out
+
+
+def test_four_types(stut):
+    assert stut.num_types() == 5  # Element, NodeBase abstract + 3 concrete
+
+
+def test_anchor_row_never_moves(stut):
+    before = _node_positions(stut)[: stut.width]
+    for _ in range(5):
+        stut.iterate()
+    after = _node_positions(stut)[: stut.width]
+    np.testing.assert_array_equal(before, after)
+
+
+def test_free_nodes_fall_under_gravity(stut):
+    before = _node_positions(stut)
+    for _ in range(5):
+        stut.iterate()
+    after = _node_positions(stut)
+    # the bottom row is only held by springs; it must sag downward
+    bottom = slice((stut.height - 1) * stut.width, None)
+    assert after[bottom, 1].mean() < before[bottom, 1].mean()
+
+
+def test_springs_break_monotonically(stut):
+    broken = [stut.broken_count()]
+    for _ in range(6):
+        stut.iterate()
+        broken.append(stut.broken_count())
+    assert all(b2 >= b1 for b1, b2 in zip(broken, broken[1:]))
+
+
+def test_some_springs_eventually_break(stut):
+    for _ in range(10):
+        stut.iterate()
+    assert stut.broken_count() > 0
+
+
+def test_positions_finite(stut):
+    for _ in range(8):
+        stut.iterate()
+    assert np.isfinite(_node_positions(stut)).all()
+
+
+def test_spring_endpoints_are_object_pointers(stut):
+    m = stut.machine
+    lay = m.registry.layout(stut.Spring)
+    c = m.allocator._canonical(int(stut.spring_ptrs[0]))
+    pa = int(m.heap.load(c + lay.offset("node_a"), "u64"))
+    owner = m.allocator.owner_type(pa)
+    assert owner in (stut.Node, stut.AnchorNode)
