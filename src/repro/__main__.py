@@ -8,6 +8,7 @@ Usage::
     python -m repro disasm typepointer         # show a lowering
     python -m repro profile TRAF --technique coal   # nvprof-style counters
     python -m repro fuzz 100                   # differential dispatch fuzzing
+    python -m repro selfbench                  # time the replay engines
 
 Each experiment prints the same text table the benchmark suite writes
 to ``benchmarks/results/`` and EXPERIMENTS.md quotes.
@@ -80,12 +81,29 @@ def main(argv=None) -> int:
                         help="technique for 'profile' (default typepointer)")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="workload scale factor (default 0.25)")
+    parser.add_argument("--output", default=None,
+                        help="output path for 'selfbench' "
+                             "(default BENCH_pipeline.json)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per cell for 'selfbench' "
+                             "(fastest kept; default 1)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         print("experiments:", ", ".join(EXPERIMENTS),
-              "| all | disasm | profile | fuzz")
+              "| all | disasm | profile | fuzz | selfbench")
         return 0
+
+    if args.experiment == "selfbench":
+        from .harness.selfbench import DEFAULT_OUTPUT, format_report, run_selfbench
+
+        out = args.output or DEFAULT_OUTPUT
+        t0 = time.time()
+        report = run_selfbench(scale=args.scale, output=out,
+                               repeats=args.repeats)
+        print(format_report(report))
+        print(f"wrote {out} [{time.time() - t0:.1f}s]")
+        return 0 if report["counters_match"] else 1
 
     if args.experiment == "disasm":
         print(f"; virtual call lowering under {args.target!r}")

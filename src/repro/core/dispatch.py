@@ -71,6 +71,13 @@ class DispatchStrategy(abc.ABC):
     def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
         """Write the technique's object header at canonical ``addr``."""
 
+    def on_construct_many(self, addrs: np.ndarray,
+                          type_desc: TypeDescriptor) -> None:
+        """Write headers for a batch of same-type objects at canonical
+        ``addrs`` (vectorised by the concrete strategies)."""
+        for a in addrs.tolist():
+            self.on_construct(int(a), type_desc)
+
     def prepare_launch(self) -> None:
         """Hook run before each kernel launch (COAL rebuilds its tree)."""
 
@@ -93,6 +100,19 @@ class DispatchStrategy(abc.ABC):
         arena = self.machine.arena
         self.machine.heap.store(addr, "u64", arena.vtable_addr(type_desc))
 
+    def _write_vtable_headers(self, addrs: np.ndarray,
+                              type_desc: TypeDescriptor,
+                              cpu_slot: bool) -> None:
+        """Batched header writes: GPU vTable pointer at offset 0, and for
+        16-byte shared-object headers the CPU-side pointer at offset 8."""
+        heap = self.machine.heap
+        vt = self.machine.arena.vtable_addr(type_desc)
+        n = len(addrs)
+        heap.scatter(addrs, "u64", np.full(n, vt, dtype=np.uint64))
+        if cpu_slot:
+            heap.scatter(addrs + np.uint64(8), "u64",
+                         np.full(n, vt ^ 0x1, dtype=np.uint64))
+
     def _vtable_resolve(self, ctx, objptrs: np.ndarray, slot: int) -> np.ndarray:
         """The contemporary-CUDA lowering of Figure 1a (ops A and B)."""
         # A: diverged load of each object's embedded vTable pointer
@@ -110,6 +130,9 @@ class VTableDispatch(DispatchStrategy):
 
     def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
         self._write_vtable_header(addr, type_desc)
+
+    def on_construct_many(self, addrs, type_desc):
+        self._write_vtable_headers(addrs, type_desc, cpu_slot=False)
 
     def resolve(self, ctx, objptrs, slot, uniform=False):
         return self._vtable_resolve(ctx, objptrs, slot)
@@ -135,6 +158,9 @@ class SharedVTableDispatch(VTableDispatch):
         cpu_vt = self.machine.arena.vtable_addr(type_desc) ^ 0x1
         self.machine.heap.store(addr + 8, "u64", cpu_vt)
 
+    def on_construct_many(self, addrs, type_desc):
+        self._write_vtable_headers(addrs, type_desc, cpu_slot=True)
+
 
 class ConcordDispatch(DispatchStrategy):
     """Type tags + switch statements, after Intel Concord (CGO'14).
@@ -151,6 +177,12 @@ class ConcordDispatch(DispatchStrategy):
     def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
         tag = self.machine.registry.type_id(type_desc)
         self.machine.heap.store(addr, "u32", tag)
+
+    def on_construct_many(self, addrs, type_desc):
+        tag = self.machine.registry.type_id(type_desc)
+        self.machine.heap.scatter(
+            addrs, "u32", np.full(len(addrs), tag, dtype=np.uint32)
+        )
 
     def resolve(self, ctx, objptrs, slot, uniform=False):
         registry = self.machine.registry
@@ -193,6 +225,9 @@ class COALDispatch(DispatchStrategy):
 
     def on_construct(self, addr: int, type_desc: TypeDescriptor) -> None:
         SharedVTableDispatch.on_construct(self, addr, type_desc)  # same header
+
+    def on_construct_many(self, addrs, type_desc):
+        self._write_vtable_headers(addrs, type_desc, cpu_slot=True)
 
     def prepare_launch(self) -> None:
         """(Re)build the segment tree when the range set changed."""
@@ -270,6 +305,11 @@ class TypePointerDispatch(DispatchStrategy):
             SharedVTableDispatch.on_construct(self, addr, type_desc)
         else:
             self._write_vtable_header(addr, type_desc)
+
+    def on_construct_many(self, addrs, type_desc):
+        self._write_vtable_headers(
+            addrs, type_desc, cpu_slot=self.header_size >= 16
+        )
 
     def resolve(self, ctx, objptrs, slot, uniform=False):
         arena = self.machine.arena

@@ -1,14 +1,22 @@
-"""GPU simulator: SIMT executor, coalescer, caches, timing."""
+"""GPU simulator: SIMT executor, trace capture, replay engines, timing."""
 
 from .cache import MemoryHierarchy, SectoredCache
-from .coalescing import SECTOR_BYTES, Transaction, coalesce, count_sectors
+from .coalescing import (
+    SECTOR_BYTES,
+    Transaction,
+    coalesce,
+    coalesce_arrays,
+    count_sectors,
+)
 from .config import CacheGeometry, GPUConfig, small_config
-from .dram import DRAMModel
+from .dram import DRAMModel, account_rows
 from .executor import WARP_SIZE, ExecutionContext, launch
 from .isa import InstrClass, Opcode, TraceRecord
 from .machine import FIGURE6_TECHNIQUES, TECHNIQUES, Machine
+from .replay import ENGINES, ReferenceEngine, ReplayEngine, VectorEngine
 from .stats import KernelStats
 from .timing import bottleneck, compute_cycles, finalize_timing, memory_cycles
+from .trace import MemoryTrace, flatten_wave
 
 __all__ = [
     "MemoryHierarchy",
@@ -16,11 +24,13 @@ __all__ = [
     "SECTOR_BYTES",
     "Transaction",
     "coalesce",
+    "coalesce_arrays",
     "count_sectors",
     "CacheGeometry",
     "GPUConfig",
     "small_config",
     "DRAMModel",
+    "account_rows",
     "WARP_SIZE",
     "ExecutionContext",
     "launch",
@@ -30,7 +40,13 @@ __all__ = [
     "FIGURE6_TECHNIQUES",
     "TECHNIQUES",
     "Machine",
+    "ENGINES",
+    "ReplayEngine",
+    "ReferenceEngine",
+    "VectorEngine",
     "KernelStats",
+    "MemoryTrace",
+    "flatten_wave",
     "bottleneck",
     "compute_cycles",
     "finalize_timing",

@@ -34,15 +34,17 @@ class Transaction:
         return bin(self.sector_mask).count("1")
 
 
-def coalesce(addrs: np.ndarray, width: int) -> List[Transaction]:
-    """Coalesce per-lane accesses of ``width`` bytes into transactions.
+def coalesce_arrays(addrs: np.ndarray, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched coalescer: the array-returning entry point of the trace IR.
 
-    ``addrs`` holds the active lanes' byte addresses (already MMU
-    translated / canonical).  Accesses that straddle a sector boundary
-    touch both sectors, as on hardware.
+    Returns ``(line_addrs, sector_masks)`` -- uint64 byte addresses of
+    the touched 128B lines (ascending) and the uint8 4-sector bitmask
+    per line.  Semantics match :func:`coalesce` exactly; this form goes
+    straight into :class:`repro.gpu.trace.MemoryTrace` without building
+    per-transaction Python objects.
     """
     if addrs.size == 0:
-        return []
+        return (np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.uint8))
     a = addrs.astype(np.uint64, copy=False)
     first_sector = a // _U64_SECTOR
     last_sector = (a + np.uint64(max(width - 1, 0))) // _U64_SECTOR
@@ -54,24 +56,28 @@ def coalesce(addrs: np.ndarray, width: int) -> List[Transaction]:
     lines = sectors // np.uint64(SECTORS_PER_LINE)
     sector_in_line = (sectors % np.uint64(SECTORS_PER_LINE)).astype(np.int64)
 
-    transactions: List[Transaction] = []
-    current_line = None
-    mask = 0
-    for line, sec in zip(lines, sector_in_line):
-        line = int(line)
-        if line != current_line:
-            if current_line is not None:
-                transactions.append(
-                    Transaction(line_addr=current_line * LINE_BYTES, sector_mask=mask)
-                )
-            current_line = line
-            mask = 0
-        mask |= 1 << int(sec)
-    if current_line is not None:
-        transactions.append(
-            Transaction(line_addr=current_line * LINE_BYTES, sector_mask=mask)
-        )
-    return transactions
+    uniq_lines, inverse = np.unique(lines, return_inverse=True)
+    masks = np.zeros(len(uniq_lines), dtype=np.uint8)
+    np.bitwise_or.at(
+        masks, inverse,
+        (np.int64(1) << sector_in_line).astype(np.uint8),
+    )
+    return uniq_lines * np.uint64(LINE_BYTES), masks
+
+
+def coalesce(addrs: np.ndarray, width: int) -> List[Transaction]:
+    """Coalesce per-lane accesses of ``width`` bytes into transactions.
+
+    ``addrs`` holds the active lanes' byte addresses (already MMU
+    translated / canonical).  Accesses that straddle a sector boundary
+    touch both sectors, as on hardware.  Object-returning wrapper over
+    :func:`coalesce_arrays`.
+    """
+    lines, masks = coalesce_arrays(addrs, width)
+    return [
+        Transaction(line_addr=line, sector_mask=mask)
+        for line, mask in zip(lines.tolist(), masks.tolist())
+    ]
 
 
 def count_sectors(addrs: np.ndarray, width: int) -> int:

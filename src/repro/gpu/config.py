@@ -95,6 +95,14 @@ class GPUConfig:
     resident_warps_per_sm: int = 16
 
     # ------------------------------------------------------------------
+    # replay engine (stage two of the capture -> replay pipeline).
+    # "vector" and "reference" are cross-validated bit-identical
+    # (tests/test_replay_engines.py); the env var REPRO_REPLAY_ENGINE
+    # overrides this per process.  See repro.gpu.replay.
+    # ------------------------------------------------------------------
+    replay_engine: str = "vector"
+
+    # ------------------------------------------------------------------
     # TLB model (off by default; see repro.gpu.tlb and the TLB ablation)
     # ------------------------------------------------------------------
     model_tlb: bool = False

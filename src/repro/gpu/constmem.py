@@ -19,7 +19,7 @@ is part of its code-size-for-flexibility trade.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -18,8 +18,8 @@ import numpy as np
 
 from ..errors import LaunchError
 from ..memory.address_space import strip_tag_array
+from ..memory.heap import SCALAR_TYPES
 from ..runtime.typesystem import TypeDescriptor
-from .coalescing import coalesce
 from .isa import (
     InstrClass,
     Opcode,
@@ -28,6 +28,7 @@ from .isa import (
     ROLE_INDIRECT_CALL,
 )
 from .stats import KernelStats
+from .trace import MemoryTrace, role_id
 
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
@@ -39,14 +40,15 @@ class ExecutionContext:
     """One warp's view of the machine during a kernel.
 
     Memory accesses are *charged* immediately (instruction counts,
-    transaction counts) but their cache effects are queued in
-    ``txn_queue`` and replayed by the launcher interleaved with the
-    other warps resident on the same wave -- real warps do not run to
-    completion atomically, and the inter-warp interference is exactly
-    what makes the diverged vTable-pointer load expensive (section 1).
+    transaction counts) but their cache effects are captured in the
+    warp's :class:`MemoryTrace` and replayed by the launcher's engine
+    interleaved with the other warps resident on the same wave -- real
+    warps do not run to completion atomically, and the inter-warp
+    interference is exactly what makes the diverged vTable-pointer load
+    expensive (section 1).
     """
 
-    __slots__ = ("machine", "warp_id", "sm", "tid", "stats", "txn_queue")
+    __slots__ = ("machine", "warp_id", "sm", "tid", "stats", "trace")
 
     def __init__(
         self,
@@ -55,15 +57,15 @@ class ExecutionContext:
         sm: int,
         tid: np.ndarray,
         stats: KernelStats,
-        txn_queue: list = None,
+        trace: MemoryTrace = None,
     ):
         self.machine = machine
         self.warp_id = warp_id
         self.sm = sm
         self.tid = tid  # active lanes' global thread ids (dense)
         self.stats = stats
-        # (sm, transactions, is_store, role) per charged memory access
-        self.txn_queue = txn_queue if txn_queue is not None else []
+        # the warp's captured memory accesses (stage one of the pipeline)
+        self.trace = trace if trace is not None else MemoryTrace(sm)
 
     # ------------------------------------------------------------------
     @property
@@ -78,7 +80,7 @@ class ExecutionContext:
         """Context for a subset of lanes (SIMT predication/serialization)."""
         return ExecutionContext(
             self.machine, self.warp_id, self.sm, self.tid[lane_sel],
-            self.stats, txn_queue=self.txn_queue,
+            self.stats, trace=self.trace,
         )
 
     # ------------------------------------------------------------------
@@ -86,13 +88,11 @@ class ExecutionContext:
     # ------------------------------------------------------------------
     def alu(self, n: int = 1, op: Opcode = Opcode.IADD, role: str = None) -> None:
         """Charge ``n`` warp-wide compute instructions."""
-        for _ in range(n):
-            self.stats.add_instr(op.klass, self.lane_count, role)
+        self.stats.add_instr(op.klass, self.lane_count, role, count=n)
 
     def ctrl(self, n: int = 1, op: Opcode = Opcode.BRA, role: str = None) -> None:
         """Charge ``n`` warp-wide control instructions."""
-        for _ in range(n):
-            self.stats.add_instr(op.klass, self.lane_count, role)
+        self.stats.add_instr(op.klass, self.lane_count, role, count=n)
 
     # ------------------------------------------------------------------
     # memory
@@ -105,20 +105,13 @@ class ExecutionContext:
         tlb = self.machine.tlb
         if tlb is not None:
             stats.tlb_walks += tlb.translate_pages(self.sm, canonical)
-        txns = coalesce(canonical, width)
-        sectors_total = sum(t.num_sectors for t in txns)
-        self.txn_queue.append((self.sm, txns, store, role))
-        if store:
-            stats.global_store_transactions += sectors_total
-        else:
-            stats.global_load_transactions += sectors_total
-            stats.add_role_transactions(role, sectors_total)
+        # coalescing and the global_*_transactions / per-role counters
+        # are deferred to MemoryTrace.finalize (one batched pass per warp)
+        self.trace.append_access(canonical, width, store, role_id(role))
 
     def load(self, addrs: np.ndarray, dtype: str = "u64", role: str = None,
              width: int = None) -> np.ndarray:
         """Charged global load: MMU translate, coalesce, cache, fetch."""
-        from ..memory.heap import SCALAR_TYPES
-
         a = np.asarray(addrs, dtype=np.uint64)
         canonical = self.machine.mmu.translate(a)
         w = width if width is not None else SCALAR_TYPES[dtype][1]
@@ -127,8 +120,6 @@ class ExecutionContext:
 
     def store(self, addrs: np.ndarray, dtype: str, values, role: str = None) -> None:
         """Charged global store (write-through)."""
-        from ..memory.heap import SCALAR_TYPES
-
         a = np.asarray(addrs, dtype=np.uint64)
         canonical = self.machine.mmu.translate(a)
         w = SCALAR_TYPES[dtype][1]
@@ -149,10 +140,11 @@ class ExecutionContext:
         Functionally exact under lane conflicts: lanes are applied in
         order, each seeing the previous lane's result -- what the
         hardware's serialised atomic units guarantee.  Charged as one
-        memory instruction with store-like traffic.
+        memory instruction with store-like traffic.  When every lane
+        targets a distinct address there is nothing to serialise, so
+        the update runs as one vectorized gather/modify/scatter; the
+        ordered per-lane loop is kept only for conflicting lanes.
         """
-        from ..memory.heap import SCALAR_TYPES
-
         a = np.asarray(addrs, dtype=np.uint64)
         canonical = self.machine.mmu.translate(a)
         np_dtype, w = SCALAR_TYPES[dtype]
@@ -160,16 +152,28 @@ class ExecutionContext:
         vals = np.broadcast_to(np.asarray(values, dtype=np_dtype),
                                (len(canonical),))
         heap = self.heap
+        if op not in ("add", "min", "max"):
+            raise ValueError(f"unsupported atomic op {op!r}")
+        lanes = canonical.tolist()
+        if lanes and len(set(lanes)) == len(lanes):
+            old = heap.gather(canonical, dtype)
+            if op == "add":
+                new = (old + vals).astype(np_dtype, copy=False)
+            elif op == "min":
+                # np.where, not np.minimum: replicates min(old, v)
+                new = np.where(vals < old, vals, old)
+            else:
+                new = np.where(vals > old, vals, old)
+            heap.scatter(canonical, dtype, new)
+            return
         for addr, v in zip(canonical, vals):
             old = heap.load(int(addr), dtype)
             if op == "add":
                 new = np_dtype(old + v)
             elif op == "min":
                 new = min(old, v)
-            elif op == "max":
-                new = max(old, v)
             else:
-                raise ValueError(f"unsupported atomic op {op!r}")
+                new = max(old, v)
             heap.store(int(addr), dtype, new)
 
     def atomic_field(self, objptrs: np.ndarray, type_desc: TypeDescriptor,
@@ -308,55 +312,17 @@ class ExecutionContext:
         return result
 
 
-def _replay_wave(machine: "Machine", stats: KernelStats,
-                 queues: list) -> None:
-    """Replay one wave's memory traces through the caches, round-robin.
-
-    One charged access per warp per round: approximates the interleaved
-    issue order of concurrently resident warps, so a warp's later loads
-    contend with every other resident warp's traffic -- the thrashing
-    that defeats the vTable-pointer 'prefetch' on GPUs.
-    """
-    hier = machine.hierarchy
-    cursors = [0] * len(queues)
-    remaining = sum(len(q) for q in queues)
-    while remaining:
-        for i, q in enumerate(queues):
-            c = cursors[i]
-            if c >= len(q):
-                continue
-            sm, txns, store, role = q[c]
-            cursors[i] = c + 1
-            remaining -= 1
-            if store:
-                rm0 = hier.dram_row_misses
-                for txn in txns:
-                    hier.store(sm, txn.line_addr, txn.sector_mask)
-                stats.dram_row_misses += hier.dram_row_misses - rm0
-                continue
-            for txn in txns:
-                n_sec = txn.num_sectors
-                rm0 = hier.dram_row_misses
-                l1_hits, l2_hits, dram = hier.load(
-                    sm, txn.line_addr, txn.sector_mask
-                )
-                stats.l1_accesses += n_sec
-                stats.l1_hits += l1_hits
-                stats.l2_accesses += n_sec - l1_hits
-                stats.l2_hits += l2_hits
-                stats.dram_accesses += dram
-                stats.dram_row_misses += hier.dram_row_misses - rm0
-                stats.add_role_levels(role, l1_hits, l2_hits, dram)
-
-
 def launch(machine: "Machine", kernel, num_threads: int) -> KernelStats:
     """Run ``kernel`` over ``num_threads`` threads, wave by wave.
 
     Warps are assigned to SMs round-robin (as thread blocks are on real
     hardware).  A *wave* is the set of warps concurrently resident on
-    the whole chip (``num_sms x resident_warps_per_sm``); each wave's
-    warps execute functionally and their memory traces are then
-    replayed through the cache hierarchy interleaved round-robin.
+    the whole chip (``num_sms x resident_warps_per_sm``).  Each wave is
+    a capture -> replay round trip: its warps execute functionally,
+    appending to per-warp :class:`MemoryTrace` records, and the
+    machine's replay engine then pushes the wave's traces through the
+    cache/DRAM model in the round-robin interleave (or reuses memoized
+    counters -- see ``Machine.replay_wave``).
     """
     if num_threads <= 0:
         raise LaunchError(f"num_threads must be positive, got {num_threads}")
@@ -369,7 +335,7 @@ def launch(machine: "Machine", kernel, num_threads: int) -> KernelStats:
 
     for wave_start in range(0, num_warps, wave_size):
         wave_end = min(wave_start + wave_size, num_warps)
-        queues = []
+        traces = []
         for warp_id in range(wave_start, wave_end):
             lo = warp_id * WARP_SIZE
             hi = min(lo + WARP_SIZE, num_threads)
@@ -378,8 +344,8 @@ def launch(machine: "Machine", kernel, num_threads: int) -> KernelStats:
                 machine, warp_id, warp_id % num_sms, tid, stats
             )
             kernel(ctx)
-            queues.append(ctx.txn_queue)
-        _replay_wave(machine, stats, queues)
+            traces.append(ctx.trace.finalize(stats))
+        machine.replay_wave(traces, stats)
 
     from .timing import finalize_timing
 

@@ -1,0 +1,311 @@
+"""Pluggable replay engines: stage two of the capture -> replay pipeline.
+
+A :class:`ReplayEngine` consumes one wave of :class:`MemoryTrace`
+records (see :mod:`repro.gpu.trace`) and charges their cache/DRAM
+effects into a :class:`KernelStats`.  Two implementations are kept and
+cross-validated against each other (``tests/test_replay_engines.py``
+asserts bit-identical counters):
+
+``ReferenceEngine``
+    the historical semantics, verbatim: the dict-based
+    :class:`~repro.gpu.cache.SectoredCache` hierarchy driven one
+    transaction at a time in the wave's round-robin interleave.  This
+    is the executable specification.
+
+``VectorEngine``
+    the fast engine.  The wave is flattened into struct-of-arrays form
+    up front (``trace.flatten_wave``): interleave scheduling, set/tag
+    decomposition, sector popcounts and per-role attribution are all
+    batched numpy work, and DRAM row-buffer accounting is vectorized
+    per bank after the fact.  Only the inherently order-dependent cache
+    state transitions remain sequential, and those run as a tight loop
+    over packed integers -- each line is one dict entry holding
+    ``(lru_stamp << 4) | sector_mask``, so probe/refresh/evict are a
+    couple of int ops.  LRU stamps are unique per set (the clock ticks
+    every access), which makes packed-value ordering identical to LRU
+    ordering and eviction bit-compatible with the reference.
+
+Engine choice comes from ``GPUConfig.replay_engine`` and can be forced
+globally with the ``REPRO_REPLAY_ENGINE`` environment variable.
+"""
+from __future__ import annotations
+
+import os
+from typing import List, Protocol
+
+import numpy as np
+
+from ..errors import LaunchError
+from .cache import MemoryHierarchy
+from .config import GPUConfig
+from .dram import account_rows
+from .stats import KernelStats
+from .trace import MemoryTrace, POPCOUNT4, flatten_wave, role_name
+
+#: engine names accepted by GPUConfig.replay_engine / REPRO_REPLAY_ENGINE
+ENGINES = ("reference", "vector")
+
+#: environment override checked at machine construction
+ENGINE_ENV_VAR = "REPRO_REPLAY_ENGINE"
+
+
+class ReplayEngine(Protocol):
+    """Stage-two contract: replay one wave of traces into stats.
+
+    Engines own whatever cache/DRAM state they need and keep it across
+    launches (real GPUs do not flush caches between kernels); the
+    machine constructs one engine and reuses it for its lifetime.
+    """
+
+    name: str
+
+    def replay_wave(self, traces: List[MemoryTrace],
+                    stats: KernelStats) -> None:
+        """Charge one wave's memory traffic into ``stats``."""
+
+
+def resolve_engine_name(config: GPUConfig) -> str:
+    """Engine selection: env var beats config; validates the name."""
+    name = os.environ.get(ENGINE_ENV_VAR) or config.replay_engine
+    if name not in ENGINES:
+        raise LaunchError(
+            f"unknown replay engine {name!r}; expected one of {ENGINES}"
+        )
+    return name
+
+
+def make_engine(name: str, config: GPUConfig,
+                hierarchy: MemoryHierarchy) -> "ReplayEngine":
+    """Construct the named engine against one machine's hierarchy/config."""
+    if name == "reference":
+        return ReferenceEngine(hierarchy)
+    if name == "vector":
+        return VectorEngine(config)
+    raise LaunchError(
+        f"unknown replay engine {name!r}; expected one of {ENGINES}"
+    )
+
+
+# ----------------------------------------------------------------------
+# reference engine
+# ----------------------------------------------------------------------
+class ReferenceEngine:
+    """The executable specification: dict-based caches, access at a time."""
+
+    name = "reference"
+
+    def __init__(self, hierarchy: MemoryHierarchy):
+        self.hierarchy = hierarchy
+
+    def replay_wave(self, traces: List[MemoryTrace],
+                    stats: KernelStats) -> None:
+        hier = self.hierarchy
+        cursors = [0] * len(traces)
+        remaining = sum(t.n_accesses for t in traces)
+        while remaining:
+            for i, t in enumerate(traces):
+                c = cursors[i]
+                if c >= t.n_accesses:
+                    continue
+                cursors[i] = c + 1
+                remaining -= 1
+                s = t.txn_start[c]
+                e = s + t.txn_count[c]
+                lines = t.line[s:e].tolist()
+                masks = t.mask[s:e].tolist()
+                sm = t.sm
+                role = role_name(int(t.role[c]))
+                if t.store[c]:
+                    rm0 = hier.dram_row_misses
+                    for line, m in zip(lines, masks):
+                        hier.store(sm, line, m)
+                    stats.dram_row_misses += hier.dram_row_misses - rm0
+                    continue
+                for line, m in zip(lines, masks):
+                    n_sec = int(POPCOUNT4[m])
+                    rm0 = hier.dram_row_misses
+                    l1_hits, l2_hits, dram = hier.load(sm, line, m)
+                    stats.l1_accesses += n_sec
+                    stats.l1_hits += l1_hits
+                    stats.l2_accesses += n_sec - l1_hits
+                    stats.l2_hits += l2_hits
+                    stats.dram_accesses += dram
+                    stats.dram_row_misses += hier.dram_row_misses - rm0
+                    stats.add_role_levels(role, l1_hits, l2_hits, dram)
+
+
+# ----------------------------------------------------------------------
+# vector engine
+# ----------------------------------------------------------------------
+_POP = POPCOUNT4.tolist()
+
+
+class VectorEngine:
+    """Array-flattened replay with packed-integer cache cores."""
+
+    name = "vector"
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        g1, g2 = config.l1, config.l2
+        self.num_sms = config.num_sms
+        self._l1_line_bytes = g1.line_bytes
+        self._l1_nsets = g1.num_sets
+        self._l1_assoc = g1.assoc
+        self._l2_line_bytes = g2.line_bytes
+        self._l2_nsets = g2.num_sets
+        self._l2_assoc = g2.assoc
+        # per-SM L1s: one dict per set, tag -> (lru << 4) | sector_mask
+        self._l1 = [
+            [dict() for _ in range(self._l1_nsets)]
+            for _ in range(self.num_sms)
+        ]
+        self._l1_clock = [0] * self.num_sms
+        self._l2 = [dict() for _ in range(self._l2_nsets)]
+        self._l2_clock = 0
+        # DRAM row-buffer state (per bank), as the hierarchy keeps it
+        self._row_bytes = config.dram_row_bytes
+        self._num_banks = config.dram_num_banks
+        self._open_rows = {}
+        self.dram_row_hits = 0
+
+    # ------------------------------------------------------------------
+    def replay_wave(self, traces: List[MemoryTrace],
+                    stats: KernelStats) -> None:
+        flat = flatten_wave(traces)
+        if flat is None:
+            return
+        line, mask, sm, store, role, nsec = flat
+        n = len(line)
+
+        # batched set/tag decomposition for both levels
+        l1_line_no = (line // np.uint64(self._l1_line_bytes)).astype(np.int64)
+        l1_set = l1_line_no % self._l1_nsets
+        l1_tag = l1_line_no // self._l1_nsets
+        l2_line_no = (line // np.uint64(self._l2_line_bytes)).astype(np.int64)
+        l2_set = l2_line_no % self._l2_nsets
+        l2_tag = l2_line_no // self._l2_nsets
+
+        # python-int views for the sequential core
+        mask_l = mask.tolist()
+        nsec_l = nsec.tolist()
+        sm_l = sm.tolist()
+        store_l = store.tolist()
+        l1_set_l = l1_set.tolist()
+        l1_tag_l = l1_tag.tolist()
+        l2_set_l = l2_set.tolist()
+        l2_tag_l = l2_tag.tolist()
+
+        l1h = [0] * n
+        l2h = [0] * n
+        drm = [0] * n
+        # lines whose sectors reached DRAM, in service order (loads and
+        # stores interleaved exactly as the reference visits them)
+        row_lines: List[int] = []
+
+        l1_banks = self._l1
+        l1_clocks = self._l1_clock
+        l2_sets = self._l2
+        l2_clock = self._l2_clock
+        l1_assoc = self._l1_assoc
+        l2_assoc = self._l2_assoc
+        num_sms = self.num_sms
+        pop = _POP
+
+        for i in range(n):
+            m = mask_l[i]
+            l2_req = m
+            if store_l[i]:
+                # write-through L1: refresh sectors if present, no clock
+                d1 = l1_banks[sm_l[i] % num_sms][l1_set_l[i]]
+                t1 = l1_tag_l[i]
+                v1 = d1.get(t1)
+                if v1 is not None:
+                    d1[t1] = v1 | m
+            else:
+                # L1 load access (allocate)
+                d1 = l1_banks[sm_l[i] % num_sms][l1_set_l[i]]
+                t1 = l1_tag_l[i]
+                smi = sm_l[i] % num_sms
+                clk = l1_clocks[smi] + 1
+                l1_clocks[smi] = clk
+                v1 = d1.get(t1)
+                if v1 is not None:
+                    cm = v1 & 15
+                    miss = m & ~cm
+                    d1[t1] = (clk << 4) | cm | m
+                else:
+                    miss = m
+                    if len(d1) >= l1_assoc:
+                        del d1[min(d1, key=d1.__getitem__)]
+                    d1[t1] = (clk << 4) | m
+                l1h[i] = pop[m] - pop[miss]
+                if not miss:
+                    continue
+                l2_req = miss
+            # L2 access (allocate) -- l1 misses of loads, all stores
+            d2 = l2_sets[l2_set_l[i]]
+            t2 = l2_tag_l[i]
+            l2_clock += 1
+            v2 = d2.get(t2)
+            if v2 is not None:
+                cm = v2 & 15
+                miss2 = l2_req & ~cm
+                d2[t2] = (l2_clock << 4) | cm | l2_req
+            else:
+                miss2 = l2_req
+                if len(d2) >= l2_assoc:
+                    del d2[min(d2, key=d2.__getitem__)]
+                d2[t2] = (l2_clock << 4) | l2_req
+            if not store_l[i]:
+                l2h[i] = pop[l2_req] - pop[miss2]
+                drm[i] = pop[miss2]
+            if miss2:
+                row_lines.append(i)
+
+        self._l2_clock = l2_clock
+
+        # ------------------------------------------------------------------
+        # vectorized DRAM row-buffer accounting over the miss stream
+        # ------------------------------------------------------------------
+        if row_lines:
+            hits, misses = account_rows(
+                line[np.asarray(row_lines, dtype=np.int64)],
+                self._row_bytes, self._num_banks, self._open_rows,
+            )
+            stats.dram_row_misses += misses
+            self.dram_row_hits += hits
+
+        # ------------------------------------------------------------------
+        # bulk counter accumulation
+        # ------------------------------------------------------------------
+        is_load = ~store
+        l1h_a = np.asarray(l1h, dtype=np.int64)
+        l2h_a = np.asarray(l2h, dtype=np.int64)
+        drm_a = np.asarray(drm, dtype=np.int64)
+        l1_acc = int(nsec[is_load].sum())
+        l1_hits = int(l1h_a.sum())
+        stats.l1_accesses += l1_acc
+        stats.l1_hits += l1_hits
+        stats.l2_accesses += l1_acc - l1_hits
+        stats.l2_hits += int(l2h_a.sum())
+        stats.dram_accesses += int(drm_a.sum())
+
+        # per-role L1/L2/DRAM attribution (loads only, like the reference)
+        load_roles = role[is_load]
+        if len(load_roles):
+            minlength = int(load_roles.max()) + 1
+            by_l1 = np.bincount(load_roles, weights=l1h_a[is_load],
+                                minlength=minlength)
+            by_l2 = np.bincount(load_roles, weights=l2h_a[is_load],
+                                minlength=minlength)
+            by_dr = np.bincount(load_roles, weights=drm_a[is_load],
+                                minlength=minlength)
+            present = np.bincount(load_roles, minlength=minlength)
+            for rid in np.flatnonzero(present).tolist():
+                if rid == 0:
+                    continue  # role None is never attributed
+                stats.add_role_levels(
+                    role_name(rid), int(by_l1[rid]), int(by_l2[rid]),
+                    int(by_dr[rid]),
+                )

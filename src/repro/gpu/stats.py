@@ -82,11 +82,13 @@ class KernelStats:
         return 1000.0 * self.vfunc_calls / self.thread_instrs
 
     # ------------------------------------------------------------------
-    def add_instr(self, klass: InstrClass, active_lanes: int, role: str = None) -> None:
-        self.warp_instrs[klass] += 1
-        self.thread_instrs += active_lanes
-        if role is not None:
-            self.role_instrs[role] = self.role_instrs.get(role, 0) + 1
+    def add_instr(self, klass: InstrClass, active_lanes: int,
+                  role: str = None, count: int = 1) -> None:
+        """Charge ``count`` identical warp instructions in one call."""
+        self.warp_instrs[klass] += count
+        self.thread_instrs += active_lanes * count
+        if role is not None and count:
+            self.role_instrs[role] = self.role_instrs.get(role, 0) + count
 
     def add_role_transactions(self, role: str, n: int) -> None:
         if role is not None and n:

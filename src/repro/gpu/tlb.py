@@ -77,21 +77,27 @@ class TLBHierarchy:
 
     # ------------------------------------------------------------------
     def translate_pages(self, sm: int, addrs: np.ndarray) -> int:
-        """Probe the TLBs for one warp access; returns page walks taken."""
-        pages = np.unique(addrs // np.uint64(PAGE_SIZE))
+        """Probe the TLBs for one warp access; returns page walks taken.
+
+        Page extraction and uniquing are batched (one numpy pass over
+        the warp's addresses); only the stateful LRU probes walk the
+        handful of distinct pages.
+        """
+        pages = np.unique(addrs // np.uint64(PAGE_SIZE)).tolist()
+        stats = self.stats
         l1 = self.l1s[sm % self.num_sms]
+        l2 = self.l2
         walks = 0
+        stats.l1_accesses += len(pages)
         for p in pages:
-            p = int(p)
-            self.stats.l1_accesses += 1
             if l1.access(p):
-                self.stats.l1_hits += 1
+                stats.l1_hits += 1
                 continue
-            self.stats.l2_accesses += 1
-            if self.l2.access(p):
-                self.stats.l2_hits += 1
+            stats.l2_accesses += 1
+            if l2.access(p):
+                stats.l2_hits += 1
                 continue
-            self.stats.walks += 1
+            stats.walks += 1
             walks += 1
         return walks
 

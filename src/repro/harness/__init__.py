@@ -33,6 +33,7 @@ from .runner import (
     run_one,
     run_sweep,
 )
+from .selfbench import format_report, run_selfbench
 from .scalability import (
     FIG12_TECHNIQUES,
     fig12a_object_scaling,
@@ -74,6 +75,8 @@ __all__ = [
     "normalized",
     "run_one",
     "run_sweep",
+    "format_report",
+    "run_selfbench",
     "FIG12_TECHNIQUES",
     "fig12a_object_scaling",
     "fig12b_type_scaling",

@@ -11,21 +11,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..gpu.config import GPUConfig
-from ..gpu.isa import (
-    ROLE_DISPATCH_OVERHEAD,
-    ROLE_INDIRECT_CALL,
-    ROLE_LOAD_VFUNC,
-    ROLE_LOAD_VTABLE,
-)
+from ..gpu.isa import ROLE_INDIRECT_CALL
 from ..gpu.machine import FIGURE6_TECHNIQUES
 from .report import format_table, matrix_table
 from .runner import (
     DEFAULT_SCALE,
-    RunRecord,
     geomean,
     geomean_by_technique,
     normalized,
-    run_one,
     run_sweep,
 )
 

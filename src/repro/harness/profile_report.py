@@ -19,7 +19,6 @@ from typing import List, Optional, Sequence
 from ..gpu.config import GPUConfig, scaled_config
 from ..gpu.isa import InstrClass
 from ..gpu.machine import Machine
-from ..gpu.stats import KernelStats
 from ..workloads import make_workload
 from .report import format_table
 

@@ -9,11 +9,10 @@ and tabulate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..gpu.config import GPUConfig, scaled_config
-from ..gpu.isa import InstrClass
 from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
 from ..workloads import make_workload, workload_names
 
@@ -66,8 +65,54 @@ class RunRecord:
 _CACHE: Dict[Tuple, RunRecord] = {}
 
 
+class ReplayMemo:
+    """Per-launch trace-hash memo over replay counters.
+
+    Replay counters are a pure function of the machine's whole trace
+    history (``Machine.replay_wave`` chains a hash over every wave
+    since construction, seeded with the engine name and cache/DRAM
+    geometry), so when repeated figure generation re-executes an
+    identical launch sequence -- same workload, technique, scale and
+    seed -- every wave's cache/DRAM effects come out of this memo and
+    the replay stage is skipped entirely.  Functional execution still
+    runs (it produces the traces the hash validates), which is what
+    keeps a hit exact rather than heuristic.
+    """
+
+    #: entries kept before the memo stops learning (each entry is one
+    #: wave's counter deltas; this bounds a long-lived sweep process)
+    MAX_ENTRIES = 1 << 16
+
+    def __init__(self):
+        self._store: Dict[bytes, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes):
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: bytes, stats) -> None:
+        if len(self._store) < self.MAX_ENTRIES:
+            self._store[key] = stats
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: process-wide memo shared by every machine the runner creates
+REPLAY_MEMO = ReplayMemo()
+
+
 def clear_cache() -> None:
     _CACHE.clear()
+    REPLAY_MEMO.clear()
 
 
 def run_one(
@@ -86,6 +131,7 @@ def run_one(
         return _CACHE[key]
 
     machine = Machine(technique, config=cfg)
+    machine.set_replay_memo(REPLAY_MEMO)
     wl = make_workload(workload, machine, scale=scale, seed=seed)
     stats = wl.run(iterations)
     record = RunRecord(

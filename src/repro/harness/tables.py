@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from ..gpu.config import GPUConfig, scaled_config
 from ..gpu.isa import ROLE_DISPATCH_OVERHEAD, ROLE_LOAD_VTABLE
 from ..gpu.machine import Machine
-from ..workloads import WORKLOAD_REGISTRY, make_workload, workload_names
+from ..workloads import WORKLOAD_REGISTRY, workload_names
 from ..workloads.microbench import ObjectMicrobench
 from .figures import FigureResult
 from .report import format_table

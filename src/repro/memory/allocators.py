@@ -19,7 +19,7 @@ passes :class:`~repro.runtime.typesystem.TypeDescriptor` instances.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..errors import DoubleFree

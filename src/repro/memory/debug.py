@@ -9,7 +9,7 @@ new workloads against the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from ..errors import MemoryError_
 from .allocators import Allocator

@@ -27,6 +27,9 @@ SCALAR_TYPES = {
     "f64": (np.float64, 8),
 }
 
+#: scalar size -> log2(size), for aligned byte-address -> element index
+_SHIFT = {1: 0, 2: 1, 4: 2, 8: 3}
+
 
 class Heap:
     """Byte-addressable backing store for the simulated GPU memory.
@@ -43,6 +46,7 @@ class Heap:
         self._limit = capacity          # current backing-array size
         self._brk = null_guard          # first never-handed-out address
         self.null_guard = null_guard
+        self._views = {}                # dtype -> typed view (see _typed_view)
 
     # ------------------------------------------------------------------
     # address-space management
@@ -75,6 +79,7 @@ class Heap:
         grown[: self._limit] = self._data
         self._data = grown
         self._limit = new_limit
+        self._views = {}
 
     def _check_range(self, addr: int, size: int) -> None:
         if addr < self.null_guard:
@@ -113,9 +118,14 @@ class Heap:
         if addrs.size == 0:
             return np.empty(0, dtype=np_dtype)
         a = addrs.astype(np.int64, copy=False)
-        if a.min() < self.null_guard or int(a.max()) + size > self._brk:
+        if int(a.min()) < self.null_guard or int(a.max()) + size > self._brk:
             bad = a[(a < self.null_guard) | (a + size > self._brk)][0]
             raise InvalidAddress(f"warp gather touches invalid address {int(bad):#x}")
+        if size == 1:
+            return self._data[a].view(np_dtype)
+        if not (a & (size - 1)).any():
+            # aligned fast path: one typed fancy index over a heap view
+            return self._typed_view(size, np_dtype)[a >> _SHIFT[size]]
         offsets = np.arange(size, dtype=np.int64)
         flat = self._data[(a[:, None] + offsets[None, :]).ravel()]
         return flat.reshape(len(a), size).copy().view(np_dtype).ravel()
@@ -131,13 +141,27 @@ class Heap:
         if addrs.size == 0:
             return
         a = addrs.astype(np.int64, copy=False)
-        if a.min() < self.null_guard or int(a.max()) + size > self._brk:
+        if int(a.min()) < self.null_guard or int(a.max()) + size > self._brk:
             bad = a[(a < self.null_guard) | (a + size > self._brk)][0]
             raise InvalidAddress(f"warp scatter touches invalid address {int(bad):#x}")
         vals = np.ascontiguousarray(values, dtype=np_dtype)
+        if size == 1 or not (a & (size - 1)).any():
+            self._typed_view(size, np_dtype)[a >> _SHIFT[size]] = vals
+            return
         byte_view = vals.view(np.uint8).reshape(len(a), size)
         offsets = np.arange(size, dtype=np.int64)
         self._data[(a[:, None] + offsets[None, :]).ravel()] = byte_view.ravel()
+
+    def _typed_view(self, size: int, np_dtype) -> np.ndarray:
+        """A cached ``np_dtype`` view over the backing array (element
+        index = byte address / size; only valid for aligned accesses).
+        Views are invalidated when the heap grows."""
+        views = self._views
+        view = views.get(np_dtype)
+        if view is None:
+            n = self._limit - (self._limit % size)
+            view = views[np_dtype] = self._data[:n].view(np_dtype)
+        return view
 
     # ------------------------------------------------------------------
     # bulk array access (host-side convenience for device arrays)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import MMUFault
 from .address_space import (
+    ADDR_MASK,
     PAGE_SIZE,
     decode_tag_array,
     has_tag_array,
@@ -83,13 +84,15 @@ class MMU:
         """
         addrs = addrs.astype(np.uint64, copy=False)
         self.stats.translations += 1
-        tagged = has_tag_array(addrs)
-        if tagged.any():
+        # any tag bit set <=> some address exceeds the 49-bit space, so
+        # one max-reduction replaces the per-lane decode in the hot path
+        if addrs.size and int(addrs.max()) > ADDR_MASK:
             if self.mode is MMUMode.TYPEPOINTER:
                 self.stats.tag_strips += 1
                 addrs = strip_tag_array(addrs)
             else:
                 self.stats.faults += 1
+                tagged = has_tag_array(addrs)
                 bad = addrs[tagged][0]
                 tag = int(decode_tag_array(addrs[tagged][:1])[0])
                 raise MMUFault(
@@ -105,12 +108,11 @@ class MMU:
 
     # ------------------------------------------------------------------
     def _map_pages(self, addrs: np.ndarray) -> None:
-        pages = np.unique(addrs // np.uint64(PAGE_SIZE))
-        for p in pages:
-            p = int(p)
-            if p not in self._mapped_pages:
-                self._mapped_pages.add(p)
-                self.stats.pages_mapped += 1
+        new = set((addrs // np.uint64(PAGE_SIZE)).tolist())
+        new -= self._mapped_pages
+        if new:
+            self._mapped_pages |= new
+            self.stats.pages_mapped += len(new)
 
     @property
     def mapped_page_count(self) -> int:

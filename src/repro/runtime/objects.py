@@ -36,7 +36,7 @@ class DeviceArray:
     def addr(self, idx) -> np.ndarray:
         """Element addresses for (array of) indices."""
         i = np.asarray(idx, dtype=np.uint64)
-        if (i >= self.count).any():
+        if i.size and int(i.max()) >= self.count:
             raise IndexError(f"index out of range for DeviceArray[{self.count}]")
         return np.uint64(self.base) + i * np.uint64(self.item_size)
 

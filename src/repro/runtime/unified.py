@@ -17,7 +17,7 @@ init-phase experiment (section 8.2's 80x claim) account for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
 import numpy as np
 

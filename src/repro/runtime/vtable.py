@@ -15,7 +15,7 @@ wrong function, not just a wrong cycle count.
 """
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from ..errors import DispatchError, TypeTagOverflow
 from ..memory.heap import Heap

@@ -15,10 +15,11 @@ old object is destroyed and an object of the new type allocated
 """
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
+from ..memory.address_space import strip_tag_array
 from ..runtime.typesystem import TypeDescriptor
 from .base import Workload
 
@@ -117,19 +118,19 @@ class CellularAutomaton(Workload):
         m = self.machine
         lay = m.registry.layout(self.Cell)
         off_state = lay.offset("state")
-        changed = 0
-        for i in range(self.n_cells):
-            ptr = int(self.cell_ptrs[i])
-            c = m.allocator._canonical(ptr)
-            new_state = int(m.heap.load(c + off_state, "u32"))
-            if new_state != self.states[i]:
-                m.free_objects([ptr])
-                new_ptr = self._construct_cell(i, new_state)
-                self.cell_ptrs[i] = new_ptr
-                self.grid[i] = new_ptr
-                self.states[i] = new_state
-                changed += 1
-        self._last_retyped = changed
+        # one host-side gather over every cell's state field finds the
+        # changed cells; only those walk the free/reconstruct path
+        canon = strip_tag_array(self.cell_ptrs)
+        new_states = m.heap.gather(canon + np.uint64(off_state), "u32")
+        changed_idx = np.flatnonzero(new_states != self.states)
+        for i in changed_idx.tolist():
+            new_state = int(new_states[i])
+            m.free_objects([int(self.cell_ptrs[i])])
+            new_ptr = self._construct_cell(i, new_state)
+            self.cell_ptrs[i] = new_ptr
+            self.grid[i] = new_ptr
+            self.states[i] = new_state
+        self._last_retyped = len(changed_idx)
 
     # ------------------------------------------------------------------
     def alive_count(self) -> int:

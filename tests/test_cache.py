@@ -2,7 +2,7 @@
 import pytest
 
 from repro.gpu.cache import MemoryHierarchy, SectoredCache
-from repro.gpu.config import CacheGeometry, GPUConfig, small_config
+from repro.gpu.config import CacheGeometry, small_config
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the memory-access coalescer."""
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.gpu.coalescing import (

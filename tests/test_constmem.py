@@ -1,6 +1,4 @@
 """Tests for the per-kernel constant-memory indirection (section 2)."""
-import numpy as np
-import pytest
 
 from repro.gpu.constmem import ConstantMemory
 from repro.gpu.isa import ROLE_CONST_INDIRECTION

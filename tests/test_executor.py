@@ -3,9 +3,7 @@ import numpy as np
 import pytest
 
 from repro.errors import LaunchError
-from repro.gpu.config import small_config
-from repro.gpu.executor import WARP_SIZE
-from repro.gpu.isa import InstrClass, Opcode
+from repro.gpu.isa import InstrClass
 
 
 class TestInstructionCharging:

@@ -1,8 +1,6 @@
 """Tests for (and via) the differential dispatch fuzzer."""
-import pytest
 
 from repro.harness.fuzz import (
-    DEFAULT_TECHNIQUES,
     FuzzProgram,
     _execute,
     _oracle,

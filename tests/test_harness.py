@@ -16,7 +16,7 @@ from repro.harness import (
     run_one,
     run_sweep,
 )
-from repro.harness.runner import RunRecord, _CACHE, clear_cache
+from repro.harness.runner import clear_cache
 
 SMALL = dict(scale=0.04, config=small_config())
 

@@ -1,5 +1,4 @@
 """Tests for the section-8.3 scalability microbenchmarks."""
-import numpy as np
 import pytest
 
 from repro.gpu.config import small_config

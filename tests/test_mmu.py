@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import MMUFault
 from repro.memory.address_space import PAGE_SIZE, encode_tag
-from repro.memory.heap import Heap
 from repro.memory.mmu import MMU, MMUMode
 
 

@@ -2,13 +2,11 @@
 import pytest
 
 from repro.gpu.config import small_config
-from repro.gpu.machine import Machine
 from repro.harness.profile_report import (
     RepeatedRuns,
     profile_report,
     run_repeated,
 )
-from repro.workloads import make_workload
 
 
 def test_profile_report_contents(machine_factory, animals):

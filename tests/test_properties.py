@@ -6,7 +6,6 @@ must keep COAL's segment tree consistent with the allocator; random
 access patterns must keep the cache accounting exact.
 """
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Machine, TypeDescriptor
@@ -14,7 +13,6 @@ from repro.gpu.config import small_config
 from repro.memory.heap import Heap
 from repro.memory.shared_oa import SharedOAAllocator
 
-from conftest import ALL_TECHNIQUES
 
 
 def _make_hierarchy(tag, num_types):

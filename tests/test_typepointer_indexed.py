@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.errors import TypeTagOverflow
-from repro.gpu.isa import Opcode
 from repro.memory.address_space import decode_tag
 from repro.runtime.typesystem import TypeDescriptor
 from repro.runtime.vtable import VTableArena

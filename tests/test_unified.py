@@ -1,5 +1,4 @@
 """Tests for the SharedOA unified-memory facade (section 4)."""
-import pytest
 
 from repro.runtime.unified import SharedObjectSpace, cpu_call
 

@@ -3,7 +3,6 @@ import pytest
 
 from repro.errors import DispatchError, TypeTagOverflow
 from repro.memory.address_space import MAX_TAG
-from repro.memory.heap import Heap
 from repro.runtime.typesystem import TypeDescriptor
 from repro.runtime.vtable import ARENA_BYTES, VTableArena
 

@@ -8,7 +8,7 @@ from repro.workloads import (
     make_workload,
     workload_names,
 )
-from repro.workloads.base import PaperCharacteristics, Workload
+from repro.workloads.base import PaperCharacteristics
 
 
 def test_registry_holds_all_eleven():
