@@ -4,14 +4,20 @@ Usage::
 
     python -m repro list                       # available experiments
     python -m repro fig6 [--scale 0.25]        # one experiment
-    python -m repro all  [--scale 0.1]         # everything
+    python -m repro all  [--workers 4]         # everything, in parallel
+    python -m repro all --serial --no-store    # old single-process path
     python -m repro disasm typepointer         # show a lowering
     python -m repro profile TRAF --technique coal   # nvprof-style counters
     python -m repro fuzz 100                   # differential dispatch fuzzing
     python -m repro selfbench                  # time the replay engines
+    python -m repro selfbench service          # serial vs parallel vs warm
 
-Each experiment prints the same text table the benchmark suite writes
-to ``benchmarks/results/`` and EXPERIMENTS.md quotes.
+Every experiment is an entry in :mod:`repro.harness.registry`; the CLI
+is a registry lookup.  ``all`` goes through the parallel
+:class:`~repro.harness.service.ExperimentService`: sweep shards run on
+a worker pool backed by the disk-persistent replay store, and the run
+manifest (shard outcomes, memo hit rates) lands next to
+``benchmarks/results/``.
 """
 from __future__ import annotations
 
@@ -22,47 +28,64 @@ import time
 from .core.instrumentation import disassemble
 from .gpu.config import scaled_config
 from .gpu.machine import Machine, TECHNIQUES
-from .harness import (
-    fig1_breakdown,
-    fig6_performance,
-    fig7_instruction_mix,
-    fig8_load_transactions,
-    fig9_l1_hit_rate,
-    fig10_chunk_sweep,
-    fig11_tp_on_cuda,
-    fig12a_object_scaling,
-    fig12b_type_scaling,
-    init_performance,
-    table1_access_model,
-    table2_workloads,
+from .harness.registry import (
+    EXPERIMENT_REGISTRY,
+    ExperimentOptions,
+    SMOKE_PARAMS,
+    experiment_names,
+    get_experiment,
+    run_experiment,
 )
 
+#: Backwards-compatible view of the registry: experiment id -> runner
+#: taking a scale (kept for callers of the pre-registry CLI module).
 EXPERIMENTS = {
-    "fig1": lambda scale: fig1_breakdown(scale=scale),
-    "table1": lambda scale: table1_access_model(),
-    "table2": lambda scale: table2_workloads(scale=scale),
-    "fig6": lambda scale: fig6_performance(scale=scale),
-    "fig7": lambda scale: fig7_instruction_mix(scale=scale),
-    "fig8": lambda scale: fig8_load_transactions(scale=scale),
-    "fig9": lambda scale: fig9_l1_hit_rate(scale=scale),
-    "fig10": lambda scale: fig10_chunk_sweep(scale=scale),
-    "fig11": lambda scale: fig11_tp_on_cuda(scale=scale),
-    "fig12a": lambda scale: fig12a_object_scaling(),
-    "fig12b": lambda scale: fig12b_type_scaling(),
-    "init": lambda scale: init_performance(),
+    name: (lambda scale, _n=name: run_experiment(
+        _n, ExperimentOptions(scale=scale)))
+    for name in experiment_names()
 }
 
 
-def _print_result(name: str, result) -> None:
-    if name == "fig10":
-        print(result[0].table)
+def _options_from(args) -> ExperimentOptions:
+    workloads = (tuple(w for w in args.workloads.split(",") if w)
+                 if args.workloads else None)
+    return ExperimentOptions(
+        scale=args.scale,
+        workloads=workloads,
+        params=SMOKE_PARAMS if args.quick else {},
+    )
+
+
+def _run_all(args) -> int:
+    from .harness.service import (
+        DEFAULT_MANIFEST_PATH,
+        ExperimentService,
+    )
+
+    num_workers = 1 if args.serial else args.workers
+    service = ExperimentService(
+        num_workers=num_workers,
+        timeout_s=args.timeout,
+        store_dir=args.store_dir,
+        use_store=not args.no_store,
+    )
+    options = _options_from(args)
+    t0 = time.time()
+    run = service.run(options=options,
+                      manifest_path=args.manifest or DEFAULT_MANIFEST_PATH)
+    for name in experiment_names():
+        print(run.render(name))
         print()
-        print(result[1].table)
-    elif name == "init":
-        print(f"Init-phase speedup over {result.objects} objects: "
-              f"{result.speedup:.1f}x (paper: ~80x)")
-    else:
-        print(result.table)
+    totals = run.manifest["totals"]
+    store = run.manifest["store"]
+    print(f"[all: {totals['shards']} shards on "
+          f"{run.manifest['num_workers']} worker(s), mode="
+          f"{run.manifest['mode']}, outcomes={totals['outcomes']}, "
+          f"memo hit rate {totals['memo_hit_rate']:.0%}"
+          f"{' (warm store)' if store['warm_start'] else ''}, "
+          f"{time.time() - t0:.1f}s]")
+    print(f"[manifest: {args.manifest or DEFAULT_MANIFEST_PATH}]")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -74,27 +97,70 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'all', 'list', "
                              "'disasm' or 'profile'")
-    parser.add_argument("target", nargs="?", default="typepointer",
+    parser.add_argument("target", nargs="?", default=None,
                         help="technique for 'disasm'; workload for "
-                             f"'profile' (techniques: {', '.join(TECHNIQUES)})")
+                             f"'profile' (techniques: {', '.join(TECHNIQUES)}); "
+                             "'service' for 'selfbench'")
     parser.add_argument("--technique", default="typepointer",
                         help="technique for 'profile' (default typepointer)")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="workload scale factor (default 0.25)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload subset for sweep-"
+                             "based experiments (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the self-sized experiments to smoke "
+                             "size (CI; pair with a small --scale)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for 'all' / 'selfbench "
+                             "service' (default: min(8, cpu count))")
+    parser.add_argument("--serial", action="store_true",
+                        help="run 'all' in-process (no worker pool)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="disable the persistent replay store")
+    parser.add_argument("--store-dir", default=None,
+                        help="replay store directory (default "
+                             "benchmarks/replay_store, or $REPRO_STORE_DIR)")
+    parser.add_argument("--manifest", default=None,
+                        help="run-manifest path for 'all' (default "
+                             "benchmarks/results/run_manifest.json)")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-shard timeout in seconds (default 900)")
     parser.add_argument("--output", default=None,
                         help="output path for 'selfbench' "
-                             "(default BENCH_pipeline.json)")
+                             "(default BENCH_pipeline.json / "
+                             "BENCH_service.json)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="timing repeats per cell for 'selfbench' "
                              "(fastest kept; default 1)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("experiments:", ", ".join(EXPERIMENTS),
-              "| all | disasm | profile | fuzz | selfbench")
+        for name in experiment_names():
+            print(f"{name:8s} {get_experiment(name).description}")
+        print("plus: all | disasm | profile | fuzz | selfbench [service]")
         return 0
 
     if args.experiment == "selfbench":
+        if args.target == "service":
+            from .harness.selfbench import (
+                DEFAULT_SERVICE_OUTPUT,
+                format_service_report,
+                run_service_bench,
+            )
+
+            out = args.output or DEFAULT_SERVICE_OUTPUT
+            workloads = (tuple(w for w in args.workloads.split(",") if w)
+                         if args.workloads else None)
+            report = run_service_bench(
+                scale=args.scale, workers=args.workers,
+                workloads=workloads, output=out,
+                store_dir=args.store_dir, timeout_s=args.timeout,
+            )
+            print(format_service_report(report))
+            print(f"wrote {out}")
+            return 0 if report["ok"] else 1
+
         from .harness.selfbench import DEFAULT_OUTPUT, format_report, run_selfbench
 
         out = args.output or DEFAULT_OUTPUT
@@ -106,15 +172,16 @@ def main(argv=None) -> int:
         return 0 if report["counters_match"] else 1
 
     if args.experiment == "disasm":
-        print(f"; virtual call lowering under {args.target!r}")
-        for line in disassemble(args.target):
+        technique = args.target or "typepointer"
+        print(f"; virtual call lowering under {technique!r}")
+        for line in disassemble(technique):
             print("  " + line)
         return 0
 
     if args.experiment == "fuzz":
         from .harness.fuzz import fuzz
 
-        n = int(args.target) if args.target.isdigit() else 50
+        n = int(args.target) if args.target and args.target.isdigit() else 50
         report = fuzz(num_programs=n)
         print(f"fuzzed {report.programs} programs: "
               f"{'all techniques agree with the oracle' if report.ok else 'DIVERGENCES'}")
@@ -127,23 +194,24 @@ def main(argv=None) -> int:
         from .workloads import make_workload
 
         m = Machine(args.technique, config=scaled_config())
-        wl = make_workload(args.target, m, scale=args.scale)
+        wl = make_workload(args.target or "TRAF", m, scale=args.scale)
         wl.run()
         print(profile_report(
             m, title=f"profile: {args.target} under {args.technique}"
         ))
         return 0
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiment(s) {unknown}; try 'list'")
+    if args.experiment == "all":
+        return _run_all(args)
 
-    for name in names:
-        t0 = time.time()
-        result = EXPERIMENTS[name](args.scale)
-        _print_result(name, result)
-        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+    if args.experiment not in EXPERIMENT_REGISTRY:
+        parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
+
+    exp = get_experiment(args.experiment)
+    t0 = time.time()
+    result = exp.run(_options_from(args))
+    print(exp.render(result))
+    print(f"[{exp.name} took {time.time() - t0:.1f}s]\n")
     return 0
 
 

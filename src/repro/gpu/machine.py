@@ -63,13 +63,35 @@ TECHNIQUES = (
 #: The five configurations of Figure 6, in plotting order.
 FIGURE6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
 
+#: Process-wide replay memo newly constructed machines attach by
+#: default (None = no memo).  Worker processes of the parallel
+#: experiment service point this at a store-backed memo so *every*
+#: machine they build -- including the ones harness code constructs
+#: directly, outside ``harness.runner`` -- replays out of the
+#: persistent store.  ``Machine.set_replay_memo`` still overrides it
+#: per machine.
+_DEFAULT_REPLAY_MEMO = None
+
+
+def set_default_replay_memo(memo):
+    """Install the memo new machines start with; returns the old one."""
+    global _DEFAULT_REPLAY_MEMO
+    old, _DEFAULT_REPLAY_MEMO = _DEFAULT_REPLAY_MEMO, memo
+    return old
+
 
 class Machine:
-    """A simulated GPU configured for one of the paper's techniques."""
+    """A simulated GPU configured for one of the paper's techniques.
+
+    Everything beyond the technique name is a tuning knob, so the
+    constructor takes it keyword-only: ``Machine("coal",
+    initial_chunk_objects=1024)``.
+    """
 
     def __init__(
         self,
         technique: str = "cuda",
+        *,
         config: Optional[GPUConfig] = None,
         initial_chunk_objects: int = 4096,
         heap_capacity: int = 1 << 22,
@@ -98,7 +120,7 @@ class Machine:
         )
         #: optional cross-run replay memo (set by harness.runner before
         #: any launch); plus the trace-hash chain and pending traces
-        self._replay_memo = None
+        self._replay_memo = _DEFAULT_REPLAY_MEMO
         self._trace_chain: Optional[bytes] = None
         self._pending_traces: List[list] = []
         self._waves_replayed = 0
@@ -217,8 +239,22 @@ class Machine:
         return ptrs
 
     def free_objects(self, ptrs: Iterable[int]) -> None:
-        for p in ptrs:
-            self.allocator.free_object(int(p))
+        """Free a batch of (possibly tagged) object pointers.
+
+        Batched mirror of :meth:`new_objects`: the allocators validate
+        and release the whole batch vectorised (``free_objects_many``)
+        instead of walking a per-pointer Python loop.
+        """
+        if isinstance(ptrs, np.ndarray):
+            arr = ptrs.astype(np.uint64, copy=False)
+        else:
+            arr = np.fromiter((int(p) for p in ptrs), dtype=np.uint64)
+        if arr.size == 0:
+            return
+        if arr.size == 1:
+            self.allocator.free_object(int(arr[0]))
+            return
+        self.allocator.free_objects_many(arr)
 
     def array(self, dtype: str, count: int) -> DeviceArray:
         return DeviceArray(self, dtype, count)
@@ -294,7 +330,7 @@ class Machine:
         memo.put(key, delta)
 
     def launch(self, kernel, num_threads: int,
-               label: str = None) -> KernelStats:
+               label: Optional[str] = None) -> KernelStats:
         """Run one kernel; returns its stats and accumulates run totals.
 
         ``label`` names the launch in the per-kernel profile (defaults

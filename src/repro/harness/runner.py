@@ -106,13 +106,45 @@ class ReplayMemo:
         self.misses = 0
 
 
-#: process-wide memo shared by every machine the runner creates
+#: process-wide memo shared by every machine the runner creates; the
+#: parallel service swaps this for a store-backed memo (see
+#: ``harness.store`` / ``harness.service``)
 REPLAY_MEMO = ReplayMemo()
+
+
+def set_default_memo(memo: ReplayMemo) -> ReplayMemo:
+    """Swap the runner's process-wide replay memo; returns the old one."""
+    global REPLAY_MEMO
+    old, REPLAY_MEMO = REPLAY_MEMO, memo
+    return old
 
 
 def clear_cache() -> None:
     _CACHE.clear()
     REPLAY_MEMO.clear()
+
+
+def cache_key(
+    workload: str,
+    technique: str,
+    scale: float = DEFAULT_SCALE,
+    iterations: Optional[int] = DEFAULT_ITERATIONS,
+    config: Optional[GPUConfig] = None,
+    seed: int = 7,
+) -> Tuple:
+    """The runner-cache key one (workload, technique, ...) run lands under."""
+    cfg = config or scaled_config()
+    return (workload, technique, scale, iterations, cfg.name, seed)
+
+
+def cache_get(key: Tuple) -> Optional[RunRecord]:
+    return _CACHE.get(key)
+
+
+def cache_put(key: Tuple, record: RunRecord) -> None:
+    """Seed the in-process cache (used by the parallel service, whose
+    workers compute records out of process)."""
+    _CACHE[key] = record
 
 
 def run_one(
@@ -123,6 +155,7 @@ def run_one(
     config: Optional[GPUConfig] = None,
     seed: int = 7,
     use_cache: bool = True,
+    memo: Optional[ReplayMemo] = None,
 ) -> RunRecord:
     """Run one workload under one technique and record the counters."""
     cfg = config or scaled_config()
@@ -131,7 +164,7 @@ def run_one(
         return _CACHE[key]
 
     machine = Machine(technique, config=cfg)
-    machine.set_replay_memo(REPLAY_MEMO)
+    machine.set_replay_memo(memo if memo is not None else REPLAY_MEMO)
     wl = make_workload(workload, machine, scale=scale, seed=seed)
     stats = wl.run(iterations)
     record = RunRecord(

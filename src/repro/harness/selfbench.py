@@ -193,6 +193,144 @@ def _speedups(runs: List[Dict]) -> Dict:
     return out
 
 
+# ----------------------------------------------------------------------
+# service benchmark: serial vs parallel vs warm store
+# ----------------------------------------------------------------------
+SERVICE_SCHEMA = "repro-service-bench/1"
+
+DEFAULT_SERVICE_OUTPUT = "BENCH_service.json"
+
+
+def run_service_bench(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 0.1,
+    workers: Optional[int] = None,
+    workloads: Optional[Sequence[str]] = None,
+    quick: bool = True,
+    config: Optional[GPUConfig] = None,
+    output: Optional[str] = DEFAULT_SERVICE_OUTPUT,
+    store_dir: Optional[str] = None,
+    timeout_s: float = 900.0,
+) -> Dict:
+    """Benchmark the experiment service end to end; write ``output``.
+
+    Runs the registry three times -- serial with no store (the baseline
+    a plain ``python -m repro all --serial --no-store`` pays), parallel
+    against a cold store, and parallel again against the now-warm store
+    -- clearing the in-process sweep cache between phases so each run
+    recomputes (or replays) from scratch.  Renders must match across
+    all three phases (the service's bit-identity contract) and the warm
+    phase must actually hit the memo; ``report["ok"]`` ands both.
+    """
+    import shutil
+    import tempfile
+
+    from .registry import ExperimentOptions, SMOKE_PARAMS, experiment_names
+    from .service import ExperimentService, default_num_workers
+    from .runner import clear_cache
+
+    names = list(names) if names is not None else list(experiment_names())
+    workers = workers if workers is not None else default_num_workers()
+    options = ExperimentOptions(
+        scale=scale, config=config,
+        workloads=tuple(workloads) if workloads is not None else None,
+        params=SMOKE_PARAMS if quick else {},
+    )
+
+    own_store = store_dir is None
+    sdir = store_dir or tempfile.mkdtemp(prefix="repro-service-bench-")
+    phases: Dict[str, Dict] = {}
+    renders: Dict[str, Dict[str, str]] = {}
+
+    def phase(tag: str, service: ExperimentService) -> None:
+        clear_cache()
+        t0 = time.perf_counter()
+        run = service.run(names, options, manifest_path=None)
+        wall = time.perf_counter() - t0
+        phases[tag] = {
+            "wall_s": wall,
+            "mode": run.manifest["mode"],
+            "num_workers": run.manifest["num_workers"],
+            "warm_start": run.manifest["store"]["warm_start"],
+            "totals": run.manifest["totals"],
+        }
+        renders[tag] = {n: run.render(n) for n in names}
+
+    try:
+        phase("serial_cold", ExperimentService(1, timeout_s=timeout_s,
+                                               use_store=False))
+        phase("parallel_cold", ExperimentService(
+            workers, timeout_s=timeout_s, store_dir=sdir))
+        phase("warm_store", ExperimentService(
+            workers, timeout_s=timeout_s, store_dir=sdir))
+    finally:
+        if own_store:
+            shutil.rmtree(sdir, ignore_errors=True)
+        clear_cache()
+
+    renders_match = (renders["serial_cold"] == renders["parallel_cold"]
+                     == renders["warm_store"])
+    warm = phases["warm_store"]["totals"]
+    warm_hit = warm["memo_hits"] > 0 and warm["memo_hit_rate"] >= 0.5
+    base = phases["serial_cold"]["wall_s"]
+
+    def speedup(tag: str) -> float:
+        w = phases[tag]["wall_s"]
+        return base / w if w > 0 else float("nan")
+
+    report = {
+        "schema": SERVICE_SCHEMA,
+        "created_unix": time.time(),
+        "scale": scale,
+        "quick": quick,
+        "workers": workers,
+        "experiments": names,
+        "workloads": list(workloads) if workloads is not None else None,
+        "phases": phases,
+        "renders_match": renders_match,
+        "warm_store_hit": warm_hit,
+        "speedup_vs_serial_cold": {
+            "parallel_cold": speedup("parallel_cold"),
+            "warm_store": speedup("warm_store"),
+        },
+        "ok": renders_match and warm_hit,
+    }
+    if output:
+        with open(output, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=False)
+            f.write("\n")
+    return report
+
+
+def format_service_report(report: Dict) -> str:
+    """Human-readable summary of a service benchmark report."""
+    sp = report["speedup_vs_serial_cold"]
+    lines = [
+        f"service bench: {len(report['experiments'])} experiments, "
+        f"{report['workers']} workers (scale={report['scale']}, "
+        f"quick={report['quick']})",
+    ]
+    for tag in ("serial_cold", "parallel_cold", "warm_store"):
+        ph = report["phases"][tag]
+        t = ph["totals"]
+        lines.append(
+            f"  {tag:13s} {ph['wall_s']:7.2f}s  mode={ph['mode']:8s} "
+            f"shards={t['shards']:3d}  memo hit rate "
+            f"{t['memo_hit_rate']:.0%}"
+        )
+    lines.append(
+        f"  speedup vs serial cold: parallel {sp['parallel_cold']:.2f}x, "
+        f"warm store {sp['warm_store']:.2f}x"
+    )
+    lines.append(
+        "  renders " + ("bit-identical across phases"
+                        if report["renders_match"] else "DIVERGED")
+        + ("; warm run hit the memo" if report["warm_store_hit"]
+           else "; WARM RUN MISSED THE MEMO")
+    )
+    return "\n".join(lines)
+
+
 def format_report(report: Dict) -> str:
     """Human-readable summary of a selfbench report."""
     lines = [

@@ -1,0 +1,275 @@
+"""Disk-persistent replay-memo store (shared by runs and worker processes).
+
+The in-process :class:`~repro.harness.runner.ReplayMemo` makes repeated
+figure generation cheap *within* one process; this module makes it
+cheap *across* processes and invocations.  Memo entries -- one
+:class:`~repro.gpu.stats.KernelStats` delta per replayed wave, keyed by
+the machine's chained trace hash -- are persisted to disk in per-bucket
+pickle files, where a bucket names one (replay engine, GPU config)
+pair.  The chained key already commits to the engine name, the cache/
+DRAM geometry and the machine's entire trace history (see
+``Machine._advance_chain``), so a loaded entry is exact for the run
+that looks it up; the bucket split merely keeps files small and lets
+unrelated configurations evolve independently.
+
+Concurrency and durability rules:
+
+* every read-modify-write of a bucket happens under an exclusive
+  ``fcntl`` file lock (with an ``O_EXCL`` lock-file fallback when
+  ``fcntl`` is unavailable), so any number of worker processes may
+  merge their deltas concurrently;
+* the bucket file is replaced atomically (temp file + ``os.replace``),
+  so readers never observe a torn write;
+* every payload carries :data:`STORE_VERSION`; a mismatching or
+  corrupt file is treated as empty and silently rewritten -- a version
+  bump invalidates stale caches instead of poisoning new runs.
+"""
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..gpu.config import GPUConfig
+from ..gpu.replay import resolve_engine_name
+from .runner import ReplayMemo
+
+#: Bump when the memo entry layout or keying scheme changes; older
+#: bucket files are then ignored (and rewritten) rather than trusted.
+STORE_VERSION = 1
+
+#: Payload schema tag (sanity check that the file is ours at all).
+_SCHEMA = "repro-replay-store"
+
+#: Default store location, next to the benchmark results it accelerates.
+DEFAULT_STORE_DIR = os.path.join("benchmarks", "replay_store")
+
+#: Environment override for the store location.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+
+
+def default_store_dir() -> str:
+    """The store directory the CLI and benchmark suite use by default."""
+    return os.environ.get(STORE_ENV_VAR, DEFAULT_STORE_DIR)
+
+
+def _safe(part: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "-" for c in part)
+
+
+def bucket_name(config: GPUConfig, scope: Optional[str] = None) -> str:
+    """Store bucket for a GPU configuration: ``<engine>__<config name>``.
+
+    ``scope`` appends a free-form shard scope (e.g. ``TRAF-coal`` or
+    ``exp-fig12a``) so hot paths load only the entries they can
+    actually hit; correctness never depends on the split -- the chained
+    keys are globally unique.
+    """
+    engine = resolve_engine_name(config)
+    name = f"{engine}__{_safe(config.name)}"
+    return f"{name}__{_safe(scope)}" if scope else name
+
+
+class _FileLock:
+    """Exclusive advisory lock guarding one bucket file.
+
+    Uses ``fcntl.flock`` where available; otherwise falls back to an
+    ``O_CREAT|O_EXCL`` lock file polled with a bounded timeout (stale
+    locks older than ``stale_s`` are broken, so a killed worker cannot
+    wedge the store forever).
+    """
+
+    def __init__(self, path: Path, timeout_s: float = 30.0,
+                 stale_s: float = 300.0):
+        self.path = path
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+        self._fd: Optional[int] = None
+        self._exclusive_file = False
+
+    def __enter__(self) -> "_FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            import fcntl
+
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+            return self
+        except ImportError:
+            pass
+        # portable fallback: spin on exclusive creation
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                self._fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR
+                )
+                self._exclusive_file = True
+                return self
+            except FileExistsError:
+                try:
+                    if (time.time() - self.path.stat().st_mtime
+                            > self.stale_s):
+                        self.path.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    pass
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"could not acquire store lock {self.path}"
+                    )
+                time.sleep(0.01)
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            except ImportError:
+                pass
+            os.close(self._fd)
+            self._fd = None
+        if self._exclusive_file:
+            Path(self.path).unlink(missing_ok=True)
+            self._exclusive_file = False
+
+
+class ReplayMemoStore:
+    """Versioned on-disk replay-memo store, safe for concurrent writers."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def bucket_path(self, bucket: str) -> Path:
+        return self.root / f"{bucket}.pkl"
+
+    def _lock_path(self, bucket: str) -> Path:
+        return self.root / f"{bucket}.lock"
+
+    def _read_payload(self, path: Path) -> Dict[bytes, object]:
+        """Entries of one bucket file; {} on absence/corruption/mismatch."""
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != _SCHEMA
+            or payload.get("version") != STORE_VERSION
+        ):
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_payload(self, path: Path,
+                       entries: Dict[bytes, object]) -> None:
+        payload = {
+            "schema": _SCHEMA,
+            "version": STORE_VERSION,
+            "written_unix": time.time(),
+            "entries": entries,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def load_bucket(self, bucket: str) -> Dict[bytes, object]:
+        """Load every entry of ``bucket`` (empty dict when cold)."""
+        return self._read_payload(self.bucket_path(bucket))
+
+    def merge_bucket(self, bucket: str,
+                     entries: Dict[bytes, object]) -> int:
+        """Merge ``entries`` into ``bucket`` under the bucket lock.
+
+        Existing entries win on key collisions (keys are chained trace
+        hashes, so colliding values are identical anyway).  Returns the
+        entry count of the bucket after the merge.
+        """
+        if not entries:
+            return self.size(bucket)
+        path = self.bucket_path(bucket)
+        with _FileLock(self._lock_path(bucket)):
+            current = self._read_payload(path)
+            merged = dict(entries)
+            merged.update(current)
+            self._write_payload(path, merged)
+            return len(merged)
+
+    def size(self, bucket: str) -> int:
+        return len(self.load_bucket(bucket))
+
+    def buckets(self):
+        """Names of every bucket present on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.pkl"))
+
+    def is_warm(self) -> bool:
+        """True when any non-empty bucket file exists."""
+        if not self.root.is_dir():
+            return False
+        return any(p.stat().st_size > 0 for p in self.root.glob("*.pkl"))
+
+    def clear(self) -> None:
+        for p in list(self.root.glob("*.pkl")) + list(self.root.glob("*.lock")):
+            p.unlink(missing_ok=True)
+
+
+class PersistentReplayMemo(ReplayMemo):
+    """A :class:`ReplayMemo` backed by one store bucket.
+
+    Construction preloads every persisted entry; ``flush()`` merges the
+    entries learned since then back into the store.  Attach it exactly
+    like the in-process memo (``Machine.set_replay_memo`` /
+    ``runner.run_one(memo=...)``).
+    """
+
+    def __init__(self, store: ReplayMemoStore, bucket: str):
+        super().__init__()
+        self.store = store
+        self.bucket = bucket
+        self._store.update(store.load_bucket(bucket))
+        self.preloaded = len(self._store)
+        self._fresh: Dict[bytes, object] = {}
+
+    def put(self, key: bytes, stats) -> None:
+        before = len(self._store)
+        super().put(key, stats)
+        if len(self._store) != before:
+            self._fresh[key] = stats
+
+    def clear(self) -> None:
+        super().clear()
+        self._fresh.clear()
+
+    def flush(self) -> int:
+        """Persist freshly learned entries; returns the bucket size."""
+        if not self._fresh:
+            return self.store.size(self.bucket)
+        n = self.store.merge_bucket(self.bucket, self._fresh)
+        self._fresh.clear()
+        return n
+
+
+def memo_for(store: ReplayMemoStore, config: GPUConfig,
+             scope: Optional[str] = None) -> PersistentReplayMemo:
+    """Store-backed memo for runs under ``config``'s engine/geometry."""
+    return PersistentReplayMemo(store, bucket_name(config, scope))

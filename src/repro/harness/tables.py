@@ -94,11 +94,13 @@ def table1_access_model(
 def table2_workloads(
     scale: float = DEFAULT_SCALE,
     config: Optional[GPUConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
 ) -> FigureResult:
     """Workload characteristics, measured vs published."""
     rows: List[List] = []
     values: Dict = {}
-    for name in workload_names():
+    names = list(workloads) if workloads is not None else workload_names()
+    for name in names:
         rec = run_one(name, "cuda", scale=scale, config=config)
         paper = WORKLOAD_REGISTRY[name].paper
         values[name] = {

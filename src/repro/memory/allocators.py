@@ -22,6 +22,8 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import DoubleFree
 from .heap import Heap
 
@@ -95,6 +97,44 @@ class Allocator(abc.ABC):
         self.stats.frees += 1
         self.stats.live_bytes -= size
 
+    def free_objects_many(self, ptrs: np.ndarray) -> None:
+        """Free a batch of pointers (vectorised mirror of the alloc side).
+
+        The whole batch is validated up front -- an unknown, already-
+        freed or duplicated pointer raises :class:`DoubleFree` before
+        any slot is released, so a failed batch leaves the allocator
+        untouched.  Slot release goes through :meth:`_unplace_many`,
+        which the concrete allocators vectorise.
+        """
+        addrs = self._canonical_array(np.asarray(ptrs, dtype=np.uint64))
+        addr_list = [int(a) for a in addrs.tolist()]
+        live = self._live
+        seen = set()
+        for a in addr_list:
+            if a not in live or a in seen:
+                raise DoubleFree(
+                    f"free of unknown, duplicated or already-freed "
+                    f"pointer {a:#x}"
+                )
+            seen.add(a)
+        type_keys: List[Hashable] = []
+        sizes: List[int] = []
+        freed_bytes = 0
+        for a in addr_list:
+            type_key, size = live.pop(a)
+            type_keys.append(type_key)
+            sizes.append(size)
+            freed_bytes += size
+        self._unplace_many(addr_list, type_keys, sizes)
+        self.stats.frees += len(addr_list)
+        self.stats.live_bytes -= freed_bytes
+
+    def _unplace_many(self, addrs: List[int], type_keys: List[Hashable],
+                      sizes: List[int]) -> None:
+        """Return a batch of slots; default is the per-object loop."""
+        for a, t, s in zip(addrs, type_keys, sizes):
+            self._unplace_object(a, t, s)
+
     def alloc_raw(self, size: int, align: int = 16) -> int:
         """Allocate an untyped device buffer (workload arrays, tables).
 
@@ -110,6 +150,10 @@ class Allocator(abc.ABC):
     def _canonical(self, ptr: int) -> int:
         """Hook for tag-encoding wrappers; identity by default."""
         return ptr
+
+    def _canonical_array(self, ptrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_canonical`; identity by default."""
+        return ptrs
 
     def owner_type(self, ptr: int) -> Optional[Hashable]:
         """Ground-truth type of a live object, or None (validation only)."""

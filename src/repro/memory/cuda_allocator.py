@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List
 
+import numpy as np
+
 from .address_space import align_up
 from .allocators import Allocator
 from .heap import Heap
@@ -92,6 +94,22 @@ class CudaHeapAllocator(Allocator):
 
     def _unplace_object(self, addr: int, type_key: Hashable, size: int) -> None:
         self._free_lists.setdefault(self.size_class(size), []).append(addr)
+
+    def _unplace_many(self, addrs: List[int], type_keys: List[Hashable],
+                      sizes: List[int]) -> None:
+        """Batch release: one size-class computation over the whole batch."""
+        classes = [
+            int(c) for c in (
+                (np.asarray(sizes, dtype=np.int64) + (HEADER_PAD + 15))
+                // 16 * 16
+            ).tolist()
+        ]
+        free_lists = self._free_lists
+        for addr, cls in zip(addrs, classes):
+            lst = free_lists.get(cls)
+            if lst is None:
+                lst = free_lists[cls] = []
+            lst.append(addr)
 
     # ------------------------------------------------------------------
     def object_stride(self, size: int) -> int:

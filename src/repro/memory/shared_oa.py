@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Tuple
 
+import numpy as np
+
 from ..errors import AllocatorError
 from .address_space import align_up
 from .allocators import Allocator
@@ -160,6 +162,43 @@ class SharedOAAllocator(Allocator):
                 region.release(addr)
                 return
         raise AllocatorError(f"freed address {addr:#x} not in any region")
+
+    def _unplace_many(self, addrs: List[int], type_keys: List[Hashable],
+                      sizes: List[int]) -> None:
+        """Vectorised batch release: slot arithmetic per region.
+
+        Groups the batch by type, then resolves each group against the
+        type's regions with array containment/divmod instead of a
+        per-pointer scan.  Input order is preserved within each region,
+        so the resulting ``free_slots`` state matches a serial free
+        loop exactly.
+        """
+        by_type: Dict[Hashable, List[int]] = {}
+        for a, t in zip(addrs, type_keys):
+            by_type.setdefault(t, []).append(a)
+        for type_key, alist in by_type.items():
+            remaining = np.asarray(alist, dtype=np.int64)
+            for region in self._regions_by_type.get(type_key, ()):
+                in_region = (
+                    (remaining >= region.base) & (remaining < region.end)
+                )
+                if not in_region.any():
+                    continue
+                offsets = remaining[in_region] - region.base
+                slots, rems = np.divmod(offsets, region.stride)
+                if rems.any() or (slots >= region.used).any():
+                    bad = int(remaining[in_region][0])
+                    raise AllocatorError(
+                        f"address {bad:#x} is not a live slot of its region"
+                    )
+                region.free_slots.extend(int(s) for s in slots.tolist())
+                remaining = remaining[~in_region]
+                if remaining.size == 0:
+                    break
+            if remaining.size:
+                raise AllocatorError(
+                    f"freed address {int(remaining[0]):#x} not in any region"
+                )
 
     # ------------------------------------------------------------------
     # virtual range table

@@ -16,8 +16,16 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import TypeTagOverflow
-from .address_space import MAX_TAG, decode_tag, encode_tag, strip_tag
+from .address_space import (
+    MAX_TAG,
+    decode_tag,
+    encode_tag,
+    strip_tag,
+    strip_tag_array,
+)
 from .allocators import Allocator
 
 
@@ -50,12 +58,20 @@ class TypePointerAllocator(Allocator):
     def free_object(self, ptr: int) -> None:
         self.inner.free_object(strip_tag(ptr))
 
+    def free_objects_many(self, ptrs: np.ndarray) -> None:
+        self.inner.free_objects_many(
+            strip_tag_array(np.asarray(ptrs, dtype=np.uint64))
+        )
+
     def alloc_raw(self, size: int, align: int = 16) -> int:
         return self.inner.alloc_raw(size, align)
 
     # ------------------------------------------------------------------
     def _canonical(self, ptr: int) -> int:
         return strip_tag(ptr)
+
+    def _canonical_array(self, ptrs: np.ndarray) -> np.ndarray:
+        return strip_tag_array(ptrs)
 
     def owner_type(self, ptr: int) -> Optional[Hashable]:
         return self.inner.owner_type(strip_tag(ptr))

@@ -101,6 +101,96 @@ class TestCudaAllocator:
             assert a1 <= b0
 
 
+class TestBatchFree:
+    """free_objects_many: the vectorised mirror of on_construct_many."""
+
+    def test_cuda_batch_free_matches_serial(self, heap):
+        a = CudaHeapAllocator(heap)
+        b = CudaHeapAllocator(Heap(capacity=1 << 20))
+        pa = [a.alloc_object(f"T{i % 3}", 16 + 8 * (i % 4)) for i in range(40)]
+        pb = [b.alloc_object(f"T{i % 3}", 16 + 8 * (i % 4)) for i in range(40)]
+        assert pa == pb
+        victims = pa[::2]
+        a.free_objects_many(np.array(victims, dtype=np.uint64))
+        for p in pb[::2]:
+            b.free_object(p)
+        assert a.live_count() == b.live_count() == 20
+        assert a.stats.frees == b.stats.frees == 20
+        assert a.stats.live_bytes == b.stats.live_bytes
+        # the free lists are in the same state: identical reuse order
+        after_a = [a.alloc_object("T0", 16) for _ in range(10)]
+        after_b = [b.alloc_object("T0", 16) for _ in range(10)]
+        assert after_a == after_b
+
+    def test_sharedoa_batch_free_matches_serial(self):
+        from repro.memory.shared_oa import SharedOAAllocator
+
+        a = SharedOAAllocator(Heap(capacity=1 << 20), initial_chunk_objects=16)
+        b = SharedOAAllocator(Heap(capacity=1 << 20), initial_chunk_objects=16)
+        pa = [a.alloc_object(f"T{i % 2}", 24) for i in range(50)]
+        pb = [b.alloc_object(f"T{i % 2}", 24) for i in range(50)]
+        assert pa == pb
+        a.free_objects_many(np.array(pa[10:40], dtype=np.uint64))
+        for p in pb[10:40]:
+            b.free_object(p)
+        assert a.live_count() == b.live_count() == 20
+        after_a = [a.alloc_object("T0", 24) for _ in range(15)]
+        after_b = [b.alloc_object("T0", 24) for _ in range(15)]
+        assert after_a == after_b
+
+    def test_batch_free_validates_before_mutating(self, cuda_alloc):
+        ptrs = [cuda_alloc.alloc_object("T", 24) for _ in range(5)]
+        bogus = np.array(ptrs + [0xDEAD0], dtype=np.uint64)
+        with pytest.raises(DoubleFree):
+            cuda_alloc.free_objects_many(bogus)
+        # atomic: the valid half of the failed batch is still live
+        assert cuda_alloc.live_count() == 5
+        cuda_alloc.free_objects_many(np.array(ptrs, dtype=np.uint64))
+        assert cuda_alloc.live_count() == 0
+
+    def test_batch_free_rejects_duplicates(self, cuda_alloc):
+        p = cuda_alloc.alloc_object("T", 24)
+        q = cuda_alloc.alloc_object("T", 24)
+        with pytest.raises(DoubleFree):
+            cuda_alloc.free_objects_many(np.array([p, q, p], dtype=np.uint64))
+        assert cuda_alloc.live_count() == 2
+
+    def test_batch_free_accepts_tagged_pointers(self, heap):
+        inner = CudaHeapAllocator(heap)
+        alloc = TypePointerAllocator(inner, lambda t: 64)
+        ptrs = [alloc.alloc_object("A", 32) for _ in range(8)]
+        assert all(decode_tag(p) == 64 for p in ptrs)
+        alloc.free_objects_many(np.array(ptrs, dtype=np.uint64))
+        assert alloc.live_count() == 0
+        assert alloc.stats.frees == 8
+
+    def test_empty_batch_is_noop(self, cuda_alloc):
+        cuda_alloc.alloc_object("T", 16)
+        cuda_alloc.free_objects_many(np.array([], dtype=np.uint64))
+        assert cuda_alloc.live_count() == 1
+        assert cuda_alloc.stats.frees == 0
+
+    @given(
+        n=st.integers(10, 60),
+        pick=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sharedoa_batch_serial_equivalence_property(self, n, pick):
+        from repro.memory.shared_oa import SharedOAAllocator
+
+        a = SharedOAAllocator(Heap(capacity=1 << 20), initial_chunk_objects=8)
+        b = SharedOAAllocator(Heap(capacity=1 << 20), initial_chunk_objects=8)
+        pa = [a.alloc_object(f"T{i % 3}", 16) for i in range(n)]
+        pb = [b.alloc_object(f"T{i % 3}", 16) for i in range(n)]
+        idx = pick.sample(range(n), k=n // 2)
+        a.free_objects_many(np.array([pa[i] for i in idx], dtype=np.uint64))
+        for i in idx:
+            b.free_object(pb[i])
+        assert a.live_count() == b.live_count()
+        assert [a.alloc_object("T0", 16) for _ in range(n // 2)] == \
+            [b.alloc_object("T0", 16) for _ in range(n // 2)]
+
+
 class TestTypePointerAllocator:
     def _make(self, heap, inner_cls=CudaHeapAllocator, tags=None):
         tags = tags or {"A": 64, "B": 128}

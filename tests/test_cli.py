@@ -1,7 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
+from repro.harness.registry import experiment_names
 
 
 def test_list(capsys):
@@ -44,3 +47,92 @@ def test_experiment_registry_complete():
     for required in ("fig1", "table1", "table2", "fig6", "fig7", "fig8",
                      "fig9", "fig10", "fig11", "fig12a", "fig12b", "init"):
         assert required in EXPERIMENTS
+
+
+def test_experiments_dict_mirrors_registry():
+    # the compat dict is a view over the registry, same names same order
+    assert tuple(EXPERIMENTS) == experiment_names()
+
+
+def test_compat_experiments_dict_runs():
+    result = EXPERIMENTS["init"](0.05)
+    assert result.speedup > 1
+
+
+@pytest.mark.parametrize("name", ["fig12a", "fig12b", "table1"])
+def test_quick_flag_shrinks_self_sized_experiments(capsys, name):
+    # --quick applies SMOKE_PARAMS, so these finish in seconds
+    assert main([name, "--quick", "--scale", "0.04"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_workloads_flag_restricts_sweep(capsys):
+    assert main(["table2", "--scale", "0.04", "--workloads", "TRAF"]) == 0
+    out = capsys.readouterr().out
+    assert "TRAF" in out
+    assert "GOL" not in out
+
+
+def test_profile_subcommand(capsys):
+    assert main(["profile", "TRAF", "--technique", "coal",
+                 "--scale", "0.04"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: TRAF under coal" in out
+
+
+def test_fuzz_subcommand(capsys):
+    assert main(["fuzz", "3"]) == 0
+    assert "fuzzed 3 programs" in capsys.readouterr().out
+
+
+def test_all_serial_no_store(capsys, tmp_path):
+    # the full suite through the service, in-process, storeless
+    manifest = tmp_path / "manifest.json"
+    assert main([
+        "all", "--serial", "--no-store", "--quick",
+        "--scale", "0.04", "--workloads", "TRAF",
+        "--manifest", str(manifest),
+    ]) == 0
+    out = capsys.readouterr().out
+    for name in experiment_names():
+        assert name in EXPERIMENTS  # rendered below in registry order
+    assert "Figure 6" in out and "speedup" in out
+    m = json.loads(manifest.read_text())
+    assert m["mode"] == "serial"
+    assert m["store"]["enabled"] is False
+    assert m["totals"]["shards"] == len(m["shards"]) > 0
+
+
+def test_all_parallel_with_store(capsys, tmp_path):
+    # two workers + a store in a temp dir; manifest says parallel
+    manifest = tmp_path / "manifest.json"
+    assert main([
+        "all", "--workers", "2", "--quick",
+        "--scale", "0.04", "--workloads", "TRAF",
+        "--store-dir", str(tmp_path / "store"),
+        "--manifest", str(manifest),
+    ]) == 0
+    m = json.loads(manifest.read_text())
+    assert m["mode"] == "parallel"
+    assert m["num_workers"] == 2
+    assert m["store"]["enabled"] is True
+    outcomes = set(m["totals"]["outcomes"])
+    assert outcomes <= {"ok", "retried"}
+
+
+def test_selfbench_service_subcommand(capsys, tmp_path):
+    out_path = tmp_path / "BENCH_service.json"
+    assert main([
+        "selfbench", "service", "--scale", "0.04",
+        "--workers", "2", "--workloads", "TRAF",
+        "--output", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "service bench" in out
+    report = json.loads(out_path.read_text())
+    assert report["ok"] is True
+    assert report["renders_match"] is True
+    assert report["warm_store_hit"] is True
+    for phase in ("serial_cold", "parallel_cold", "warm_store"):
+        assert phase in report["phases"]
+    assert report["speedup_vs_serial_cold"]["warm_store"] > 0

@@ -18,6 +18,64 @@ def test_unknown_technique_rejected():
         Machine("magic")
 
 
+def test_constructor_knobs_are_keyword_only():
+    from repro.gpu.config import small_config
+
+    with pytest.raises(TypeError):
+        Machine("cuda", small_config())
+    with pytest.raises(TypeError):
+        Machine("sharedoa", None, 128)
+    # the same knobs spelled as keywords are fine
+    m = Machine("sharedoa", config=small_config(),
+                initial_chunk_objects=128, heap_capacity=1 << 20,
+                merge_adjacent=False)
+    assert m.technique == "sharedoa"
+
+
+def test_launch_label_annotated_optional():
+    import typing
+
+    hints = typing.get_type_hints(Machine.launch)
+    assert hints["label"] == typing.Optional[str]
+
+
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+def test_machine_batch_free(machine_factory, animals, technique):
+    m = machine_factory(technique)
+    dogs = m.new_objects(animals.Dog, 12)
+    cats = m.new_objects(animals.Cat, 12)
+    assert m.allocator.live_count() == 24
+    m.free_objects(dogs)                      # ndarray input
+    m.free_objects([int(p) for p in cats])    # iterable input
+    assert m.allocator.live_count() == 0
+    assert m.allocator.stats.frees == 24
+
+
+def test_machine_batch_free_single_and_empty(machine_factory, animals):
+    m = machine_factory("typepointer")
+    objs = m.new_objects(animals.Dog, 2)
+    m.free_objects([])                        # no-op
+    m.free_objects(objs[:1])                  # single-element path
+    assert m.allocator.live_count() == 1
+    m.free_objects(objs[1:])
+    assert m.allocator.live_count() == 0
+
+
+def test_default_replay_memo_hook(machine_factory):
+    from repro.gpu.machine import set_default_replay_memo
+    from repro.harness.runner import ReplayMemo
+
+    memo = ReplayMemo()
+    prev = set_default_replay_memo(memo)
+    try:
+        m = machine_factory("cuda")
+        assert m._replay_memo is memo
+    finally:
+        set_default_replay_memo(prev)
+    # restored: new machines no longer pick it up
+    assert machine_factory("cuda")._replay_memo is prev
+
+
 def test_technique_lists_consistent():
     assert set(FIGURE6_TECHNIQUES) <= set(TECHNIQUES)
     assert set(ALL_TECHNIQUES) == set(TECHNIQUES)
