@@ -8,6 +8,8 @@ Usage::
     python -m repro all --serial --no-store    # old single-process path
     python -m repro disasm typepointer         # show a lowering
     python -m repro profile TRAF --technique coal   # nvprof-style counters
+    python -m repro profile fig6               # telemetry span/counter tree
+    python -m repro all --telemetry out.json   # dump merged obs registry
     python -m repro fuzz 100                   # differential dispatch fuzzing
     python -m repro selfbench                  # time the replay engines
     python -m repro selfbench service          # serial vs parallel vs warm
@@ -85,6 +87,13 @@ def _run_all(args) -> int:
           f"{' (warm store)' if store['warm_start'] else ''}, "
           f"{time.time() - t0:.1f}s]")
     print(f"[manifest: {args.manifest or DEFAULT_MANIFEST_PATH}]")
+    if args.telemetry:
+        import json
+
+        with open(args.telemetry, "w") as f:
+            json.dump(run.manifest["telemetry"], f, indent=2)
+            f.write("\n")
+        print(f"[telemetry: {args.telemetry}]")
     return 0
 
 
@@ -124,6 +133,10 @@ def main(argv=None) -> int:
     parser.add_argument("--manifest", default=None,
                         help="run-manifest path for 'all' (default "
                              "benchmarks/results/run_manifest.json)")
+    parser.add_argument("--telemetry", default=None,
+                        help="dump the merged span/counter registry of "
+                             "'all' (machine + service + store layers) "
+                             "to this JSON path")
     parser.add_argument("--timeout", type=float, default=900.0,
                         help="per-shard timeout in seconds (default 900)")
     parser.add_argument("--output", default=None,
@@ -169,7 +182,9 @@ def main(argv=None) -> int:
                                repeats=args.repeats)
         print(format_report(report))
         print(f"wrote {out} [{time.time() - t0:.1f}s]")
-        return 0 if report["counters_match"] else 1
+        ok = (report["counters_match"]
+              and report["telemetry_overhead"]["ok"])
+        return 0 if ok else 1
 
     if args.experiment == "disasm":
         technique = args.target or "typepointer"
@@ -190,6 +205,24 @@ def main(argv=None) -> int:
         return 0 if report.ok else 1
 
     if args.experiment == "profile":
+        if args.target in EXPERIMENT_REGISTRY:
+            # experiment mode: run it under a fresh obs registry and
+            # render the span tree + counters it recorded
+            from . import obs
+
+            reg = obs.Registry(enabled=True)
+            prev = obs.set_registry(reg)
+            try:
+                exp = get_experiment(args.target)
+                result = exp.run(_options_from(args))
+            finally:
+                obs.set_registry(prev)
+            print(exp.render(result))
+            print()
+            print(obs.render_payload(reg.to_dict(),
+                                     title=f"telemetry: {exp.name}"))
+            return 0
+
         from .harness.profile_report import profile_report
         from .workloads import make_workload
 

@@ -12,10 +12,12 @@ target once (SIMT serialization across types).
 """
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from .. import obs
 from ..errors import LaunchError
 from ..memory.address_space import strip_tag_array
 from ..memory.heap import SCALAR_TYPES
@@ -326,28 +328,55 @@ def launch(machine: "Machine", kernel, num_threads: int) -> KernelStats:
     """
     if num_threads <= 0:
         raise LaunchError(f"num_threads must be positive, got {num_threads}")
-    machine.strategy.prepare_launch()
-    machine.constmem.begin_kernel()
-    stats = KernelStats()
-    num_warps = (num_threads + WARP_SIZE - 1) // WARP_SIZE
-    num_sms = machine.hierarchy.num_sms
-    wave_size = max(1, num_sms * machine.config.resident_warps_per_sm)
+    reg = obs.registry()
+    with reg.span("machine.launch"):
+        machine.strategy.prepare_launch()
+        machine.constmem.begin_kernel()
+        stats = KernelStats()
+        num_warps = (num_threads + WARP_SIZE - 1) // WARP_SIZE
+        num_sms = machine.hierarchy.num_sms
+        wave_size = max(1, num_sms * machine.config.resident_warps_per_sm)
 
-    for wave_start in range(0, num_warps, wave_size):
-        wave_end = min(wave_start + wave_size, num_warps)
-        traces = []
-        for warp_id in range(wave_start, wave_end):
-            lo = warp_id * WARP_SIZE
-            hi = min(lo + WARP_SIZE, num_threads)
-            tid = np.arange(lo, hi, dtype=np.int64)
-            ctx = ExecutionContext(
-                machine, warp_id, warp_id % num_sms, tid, stats
-            )
-            kernel(ctx)
-            traces.append(ctx.trace.finalize(stats))
-        machine.replay_wave(traces, stats)
+        # phase timings (capture -> coalesce -> replay) accumulate
+        # locally and land in the registry once per launch
+        track = reg.enabled
+        perf = time.perf_counter
+        t_capture = t_coalesce = t_replay = 0.0
+        num_waves = 0
 
-    from .timing import finalize_timing
+        for wave_start in range(0, num_warps, wave_size):
+            num_waves += 1
+            wave_end = min(wave_start + wave_size, num_warps)
+            traces = []
+            t0 = perf() if track else 0.0
+            for warp_id in range(wave_start, wave_end):
+                lo = warp_id * WARP_SIZE
+                hi = min(lo + WARP_SIZE, num_threads)
+                tid = np.arange(lo, hi, dtype=np.int64)
+                ctx = ExecutionContext(
+                    machine, warp_id, warp_id % num_sms, tid, stats
+                )
+                kernel(ctx)
+                if track:
+                    tc = perf()
+                    traces.append(ctx.trace.finalize(stats))
+                    t_coalesce += perf() - tc
+                else:
+                    traces.append(ctx.trace.finalize(stats))
+            if track:
+                t1 = perf()
+                t_capture += t1 - t0
+                machine.replay_wave(traces, stats)
+                t_replay += perf() - t1
+            else:
+                machine.replay_wave(traces, stats)
 
-    finalize_timing(stats, machine.config)
+        from .timing import finalize_timing
+
+        finalize_timing(stats, machine.config)
+        if track:
+            reg.add_time("machine.capture", t_capture - t_coalesce,
+                         count=num_waves)
+            reg.add_time("machine.coalesce", t_coalesce, count=num_warps)
+            reg.add_time("machine.replay", t_replay, count=num_waves)
     return stats

@@ -22,6 +22,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.dispatch import (
     COALDispatch,
     ConcordDispatch,
@@ -309,6 +310,7 @@ class Machine:
         engine to rebuild cache state before replaying live.
         """
         self._waves_replayed += 1
+        obs.count("machine.waves")
         memo = self._replay_memo
         if memo is None:
             self.engine.replay_wave(traces, stats)
@@ -316,9 +318,11 @@ class Machine:
         key = self._advance_chain(traces)
         hit = memo.get(key)
         if hit is not None:
+            obs.count("machine.memo_hits")
             stats.merge(hit)
             self._pending_traces.append(traces)
             return
+        obs.count("machine.memo_misses")
         if self._pending_traces:
             scratch = KernelStats()
             for wave in self._pending_traces:
@@ -339,6 +343,7 @@ class Machine:
         stats = _launch(self, kernel, num_threads)
         self.run_stats.merge(stats)
         self.launches += 1
+        obs.count("machine.launches")
         name = label or getattr(kernel, "__name__", "kernel")
         if len(self.launch_history) < self.max_history:
             self.launch_history.append((name, stats))

@@ -82,10 +82,21 @@ class TLBHierarchy:
         Page extraction and uniquing are batched (one numpy pass over
         the warp's addresses); only the stateful LRU probes walk the
         handful of distinct pages.
+
+        ``sm`` must name a real SM: wrapping an out-of-range id would
+        silently alias two SMs' L1 TLB state and corrupt the ablation's
+        hit rates.  Addresses are coerced to ``uint64`` before the page
+        divide -- a signed trace dtype would otherwise promote the
+        divide to float64 and miscompute pages above 2**53.
         """
-        pages = np.unique(addrs // np.uint64(PAGE_SIZE)).tolist()
+        if not 0 <= sm < self.num_sms:
+            raise IndexError(
+                f"SM id {sm} out of range for {self.num_sms} SMs"
+            )
+        a = np.asarray(addrs).astype(np.uint64, copy=False)
+        pages = np.unique(a // np.uint64(PAGE_SIZE)).tolist()
         stats = self.stats
-        l1 = self.l1s[sm % self.num_sms]
+        l1 = self.l1s[sm]
         l2 = self.l2
         walks = 0
         stats.l1_accesses += len(pages)

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..gpu.config import GPUConfig, scaled_config
 from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
 from ..workloads import make_workload, workload_names
@@ -161,12 +162,15 @@ def run_one(
     cfg = config or scaled_config()
     key = (workload, technique, scale, iterations, cfg.name, seed)
     if use_cache and key in _CACHE:
+        obs.count("runner.cache_hits")
         return _CACHE[key]
 
-    machine = Machine(technique, config=cfg)
-    machine.set_replay_memo(memo if memo is not None else REPLAY_MEMO)
-    wl = make_workload(workload, machine, scale=scale, seed=seed)
-    stats = wl.run(iterations)
+    obs.count("runner.cache_misses")
+    with obs.span("runner.run_one"):
+        machine = Machine(technique, config=cfg)
+        machine.set_replay_memo(memo if memo is not None else REPLAY_MEMO)
+        wl = make_workload(workload, machine, scale=scale, seed=seed)
+        stats = wl.run(iterations)
     record = RunRecord(
         workload=workload,
         technique=technique,

@@ -19,6 +19,12 @@ Runs are cross-checked as they go: both engines must produce identical
 ``cycles``/transaction counters for the same (workload, technique), so
 every selfbench run doubles as an engine-equivalence check over the
 full suite.
+
+The run also measures the :mod:`repro.obs` instrumentation tax on the
+warm (memo-hitting) path -- telemetry enabled vs disabled, interleaved
+best-of-N -- and asserts it stays under
+:data:`TELEMETRY_OVERHEAD_BUDGET` (the report's ``telemetry_overhead``
+block; the CLI exit code enforces it).
 """
 from __future__ import annotations
 
@@ -28,6 +34,7 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..gpu.config import GPUConfig, scaled_config
 from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
 from ..gpu.replay import ENGINE_ENV_VAR, ENGINES
@@ -35,9 +42,12 @@ from ..workloads import make_workload, workload_names
 from .runner import geomean
 
 #: json schema tag, bumped when the layout changes
-SCHEMA = "repro-selfbench/1"
+SCHEMA = "repro-selfbench/2"
 
 DEFAULT_OUTPUT = "BENCH_pipeline.json"
+
+#: maximum tolerated warm-path slowdown from enabled telemetry probes
+TELEMETRY_OVERHEAD_BUDGET = 0.02
 
 
 def _run_once(
@@ -90,6 +100,84 @@ _FINGERPRINT = ("cycles", "l1_accesses", "l2_accesses", "dram_accesses",
                 "dram_row_misses", "checksum")
 
 
+def measure_telemetry_overhead(
+    workload: str = "TRAF",
+    technique: str = "coal",
+    scale: float = 0.1,
+    iterations: Optional[int] = None,
+    config: Optional[GPUConfig] = None,
+    seed: int = 7,
+    repeats: int = 5,
+    runs_per_sample: int = 3,
+) -> Dict:
+    """Warm-path cost of the obs probes: telemetry on vs off.
+
+    Warms an in-process replay memo with one run, then times the
+    identical (memo-hitting) run in ABBA rounds (off, on, on, off; GC
+    paused) and reports the **best (smallest) per-round ratio**. The
+    ABBA layout cancels slow host-load drift and position bias (turbo
+    decay makes the first sample of any back-to-back sequence the
+    fastest) within a round; taking the best round then discards the
+    rounds a noisy host contaminated -- scheduler noise only ever adds
+    time, so the cleanest round is the closest to the true ratio,
+    while a genuine instrumentation regression inflates every round
+    and still trips the budget.
+    """
+    import gc
+
+    from .runner import ReplayMemo
+
+    cfg = config or scaled_config()
+    memo = ReplayMemo()
+
+    def one_sample() -> float:
+        total = 0.0
+        for _ in range(max(1, runs_per_sample)):
+            machine = Machine(technique, config=cfg)
+            machine.set_replay_memo(memo)
+            wl = make_workload(workload, machine, scale=scale, seed=seed)
+            wl.setup()
+            wl._setup_done = True
+            machine.reset_run()
+            t0 = time.perf_counter()
+            wl.run(iterations)
+            total += time.perf_counter() - t0
+        return total
+
+    one_sample()  # fill the memo: every timed run below replays out of it
+    best = {True: float("inf"), False: float("inf")}
+    ratios = []
+    saved = obs.enabled()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            sums = {True: 0.0, False: 0.0}
+            for flag in (False, True, True, False):
+                obs.set_enabled(flag)
+                t = one_sample()
+                sums[flag] += t
+                best[flag] = min(best[flag], t)
+            if sums[False] > 0:
+                ratios.append(sums[True] / sums[False])
+    finally:
+        obs.set_enabled(saved)
+        if gc_was_enabled:
+            gc.enable()
+    overhead = min(ratios) - 1.0 if ratios else 0.0
+    return {
+        "workload": workload,
+        "technique": technique,
+        "scale": scale,
+        "repeats": repeats,
+        "enabled_s": best[True],
+        "disabled_s": best[False],
+        "overhead_frac": overhead,
+        "budget_frac": TELEMETRY_OVERHEAD_BUDGET,
+        "ok": overhead < TELEMETRY_OVERHEAD_BUDGET,
+    }
+
+
 def run_selfbench(
     workloads: Optional[Sequence[str]] = None,
     techniques: Sequence[str] = FIGURE6_TECHNIQUES,
@@ -136,6 +224,10 @@ def run_selfbench(
         if saved_env is not None:
             os.environ[ENGINE_ENV_VAR] = saved_env
 
+    overhead = measure_telemetry_overhead(
+        workload="TRAF" if "TRAF" in names else names[0],
+        scale=scale, iterations=iterations, config=cfg, seed=seed,
+    )
     report = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -150,6 +242,7 @@ def run_selfbench(
         "speedup_vs_reference": _speedups(runs),
         "counters_match": not mismatches,
         "mismatches": mismatches,
+        "telemetry_overhead": overhead,
     }
     if output:
         with open(output, "w") as f:
@@ -351,4 +444,12 @@ def format_report(report: Dict) -> str:
            if report["counters_match"] else
            "DIVERGED: " + "; ".join(report["mismatches"]))
     )
+    oh = report.get("telemetry_overhead")
+    if oh:
+        lines.append(
+            f"  telemetry overhead (warm path, {oh['workload']}/"
+            f"{oh['technique']}): {oh['overhead_frac']:+.1%} "
+            f"(budget {oh['budget_frac']:.0%}) -> "
+            + ("ok" if oh["ok"] else "OVER BUDGET")
+        )
     return "\n".join(lines)

@@ -40,6 +40,7 @@ from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..gpu.config import scaled_config
 from ..gpu.machine import set_default_replay_memo
 from . import runner
@@ -293,30 +294,41 @@ def _service_worker(payload: Dict) -> Dict:
 
     Runs in a worker process normally, but must also be safe to call in
     the parent (serial mode / fallback), so any global it touches is
-    restored before returning.
+    restored before returning.  The shard runs under a *fresh* obs
+    registry (a forked worker inherits the parent's, a serial call runs
+    inside it) and ships its own telemetry delta back in the result;
+    the parent merges every shard's dump uniformly.
     """
-    memo = _worker_memo(payload)
-    if payload["kind"] == "cell":
-        record = run_one(
-            payload["workload"], payload["technique"],
-            scale=payload["scale"], iterations=payload["iterations"],
-            config=payload["config"], seed=payload["seed"],
-            use_cache=False, memo=memo,
-        )
-        value = record
-    else:
-        exp = get_experiment(payload["name"])
-        prev = set_default_replay_memo(memo) if memo is not None else None
-        try:
-            value = exp.run(payload["options"])
-        finally:
+    reg = obs.Registry()
+    prev_reg = obs.set_registry(reg)
+    try:
+        with reg.span(f"service.shard.{payload['kind']}"):
+            memo = _worker_memo(payload)
+            if payload["kind"] == "cell":
+                record = run_one(
+                    payload["workload"], payload["technique"],
+                    scale=payload["scale"], iterations=payload["iterations"],
+                    config=payload["config"], seed=payload["seed"],
+                    use_cache=False, memo=memo,
+                )
+                value = record
+            else:
+                exp = get_experiment(payload["name"])
+                prev = (set_default_replay_memo(memo)
+                        if memo is not None else None)
+                try:
+                    value = exp.run(payload["options"])
+                finally:
+                    if memo is not None:
+                        set_default_replay_memo(prev)
+            hits = memo.hits if memo is not None else 0
+            misses = memo.misses if memo is not None else 0
             if memo is not None:
-                set_default_replay_memo(prev)
-    hits = memo.hits if memo is not None else 0
-    misses = memo.misses if memo is not None else 0
-    if memo is not None:
-        memo.flush()
-    return {"value": value, "memo_hits": hits, "memo_misses": misses}
+                memo.flush()
+    finally:
+        obs.set_registry(prev_reg)
+    return {"value": value, "memo_hits": hits, "memo_misses": misses,
+            "telemetry": reg.to_dict()}
 
 
 # ----------------------------------------------------------------------
@@ -400,42 +412,56 @@ class ExperimentService:
         warm_start = self.store.is_warm() if self.store else False
         t0 = time.perf_counter()
 
-        cells = self._missing_cells(experiments, options)
-        payloads = [self._cell_payload(wl, tech, options)
-                    for wl, tech in cells]
-        labels = [f"{wl}x{tech}" for wl, tech in cells]
-        kinds = ["cell"] * len(cells)
-        self_contained = [e for e in experiments if e.cells is None]
-        payloads += [self._experiment_payload(e.name, options)
-                     for e in self_contained]
-        labels += [e.name for e in self_contained]
-        kinds += ["experiment"] * len(self_contained)
+        # run-scoped telemetry: the manifest carries exactly this run's
+        # spans and counters, not whatever the process did before
+        run_reg = obs.Registry()
+        prev_reg = obs.set_registry(run_reg)
+        try:
+            run = self._run_under_registry(
+                names, experiments, options, warm_start, t0, manifest_path)
+        finally:
+            obs.set_registry(prev_reg)
+            if prev_reg.enabled:
+                prev_reg.merge_dict(run_reg.to_dict())
+        return run
 
-        values, reports = run_shards(
-            payloads, _service_worker,
-            num_workers=self.num_workers, timeout_s=self.timeout_s,
-            labels=labels, kinds=kinds,
-        )
-        for report, value in zip(reports, values):
-            report.memo_hits = value["memo_hits"]
-            report.memo_misses = value["memo_misses"]
+    def _run_under_registry(self, names, experiments, options, warm_start,
+                            t0, manifest_path) -> ServiceRun:
+        with obs.span("service.run"):
+            cells = self._missing_cells(experiments, options)
+            payloads = [self._cell_payload(wl, tech, options)
+                        for wl, tech in cells]
+            labels = [f"{wl}x{tech}" for wl, tech in cells]
+            kinds = ["cell"] * len(cells)
+            self_contained = [e for e in experiments if e.cells is None]
+            payloads += [self._experiment_payload(e.name, options)
+                         for e in self_contained]
+            labels += [e.name for e in self_contained]
+            kinds += ["experiment"] * len(self_contained)
 
-        for (wl, tech), value in zip(cells, values):
-            cache_put(
-                cache_key(wl, tech, options.scale, None,
-                          options.config, options.seed),
-                value["value"],
+            values, reports = run_shards(
+                payloads, _service_worker,
+                num_workers=self.num_workers, timeout_s=self.timeout_s,
+                labels=labels, kinds=kinds,
             )
-        by_name = {
-            e.name: v["value"]
-            for e, v in zip(self_contained, values[len(cells):])
-        }
-        results = {}
-        for exp in experiments:
-            if exp.cells is None:
-                results[exp.name] = by_name[exp.name]
-            else:
-                results[exp.name] = exp.run(options)
+            self._absorb_shard_telemetry(reports, values)
+
+            for (wl, tech), value in zip(cells, values):
+                cache_put(
+                    cache_key(wl, tech, options.scale, None,
+                              options.config, options.seed),
+                    value["value"],
+                )
+            by_name = {
+                e.name: v["value"]
+                for e, v in zip(self_contained, values[len(cells):])
+            }
+            results = {}
+            for exp in experiments:
+                if exp.cells is None:
+                    results[exp.name] = by_name[exp.name]
+                else:
+                    results[exp.name] = exp.run(options)
 
         wall = time.perf_counter() - t0
         manifest = self._manifest(names, options, reports, wall, warm_start)
@@ -465,9 +491,7 @@ class ExperimentService:
             labels=[f"{wl}x{tech}" for wl, tech in cells],
             kinds=["cell"] * len(cells),
         )
-        for report, value in zip(reports, values):
-            report.memo_hits = value["memo_hits"]
-            report.memo_misses = value["memo_misses"]
+        self._absorb_shard_telemetry(reports, values)
         for (wl, tech), value in zip(cells, values):
             cache_put(
                 cache_key(wl, tech, options.scale, None,
@@ -475,6 +499,21 @@ class ExperimentService:
                 value["value"],
             )
         return reports
+
+    @staticmethod
+    def _absorb_shard_telemetry(reports: List[ShardReport],
+                                values: List[Dict]) -> None:
+        """Copy memo totals onto the reports and fold every shard's
+        telemetry dump -- plus outcome/retry counters -- into the
+        parent's process-local registry."""
+        reg = obs.registry()
+        for report, value in zip(reports, values):
+            report.memo_hits = value["memo_hits"]
+            report.memo_misses = value["memo_misses"]
+            reg.merge_dict(value.get("telemetry"))
+            reg.count(f"service.shards_{report.outcome}")
+            if report.attempts > 1:
+                reg.count("service.shard_retries", report.attempts - 1)
 
     def install_store_memo(self, config=None) -> Callable[[], None]:
         """Point in-process runs at the persistent store.
@@ -531,6 +570,7 @@ class ExperimentService:
                               if options.workloads else None),
             },
             "experiments": list(names),
+            "telemetry": obs.snapshot(),
             "shards": [asdict(r) for r in reports],
             "totals": {
                 "shards": len(reports),

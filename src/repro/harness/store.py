@@ -21,18 +21,28 @@ Concurrency and durability rules:
 * the bucket file is replaced atomically (temp file + ``os.replace``),
   so readers never observe a torn write;
 * every payload carries :data:`STORE_VERSION`; a mismatching or
-  corrupt file is treated as empty and silently rewritten -- a version
-  bump invalidates stale caches instead of poisoning new runs.
+  corrupt file is treated as empty and rewritten -- a version bump
+  invalidates stale caches instead of poisoning new runs.  The event is
+  *not* silent: it bumps the ``store.bucket_corrupt`` /
+  ``store.bucket_version_mismatch`` telemetry counters and warns once
+  per bucket, so cache poisoning is distinguishable from a cold run.
+
+Telemetry (see :mod:`repro.obs`): lock acquisition wait lands in the
+``store.lock_wait`` span, bucket IO in ``store.bucket_load`` /
+``store.bucket_merge`` / ``store.bucket_flush``.
 """
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
+from .. import obs
 from ..gpu.config import GPUConfig
 from ..gpu.replay import resolve_engine_name
 from .runner import ReplayMemo
@@ -82,6 +92,9 @@ class _FileLock:
     wedge the store forever).
     """
 
+    #: per-process discriminator for stale-lock tombstone names
+    _stale_seq = itertools.count()
+
     def __init__(self, path: Path, timeout_s: float = 30.0,
                  stale_s: float = 300.0):
         self.path = path
@@ -90,16 +103,66 @@ class _FileLock:
         self._fd: Optional[int] = None
         self._exclusive_file = False
 
+    def _break_stale(self) -> bool:
+        """Break the lock file if it has gone stale; True when *this*
+        process broke it (and may immediately retry acquisition).
+
+        The break is an ``os.rename`` to a unique tombstone name:
+        rename is atomic, so when several waiters judge the same lock
+        file stale, exactly one rename succeeds and only that waiter
+        proceeds -- a raw ``unlink`` here would let two waiters both
+        remove-and-recreate and both "hold" the lock.
+        """
+        try:
+            if time.time() - self.path.stat().st_mtime <= self.stale_s:
+                return False
+            tomb = self.path.with_name(
+                f"{self.path.name}.stale-{os.getpid()}-"
+                f"{next(self._stale_seq)}"
+            )
+            os.rename(self.path, tomb)
+        except OSError:
+            # vanished, already broken by someone else, or unreadable
+            return False
+        tomb.unlink(missing_ok=True)
+        obs.count("store.stale_locks_broken")
+        return True
+
     def __enter__(self) -> "_FileLock":
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        t0 = time.perf_counter()
         try:
             import fcntl
-
-            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR)
-            fcntl.flock(self._fd, fcntl.LOCK_EX)
-            return self
         except ImportError:
-            pass
+            fcntl = None
+        if fcntl is not None:
+            try:
+                fd = os.open(self.path, os.O_RDWR)
+                created = False
+            except FileNotFoundError:
+                try:
+                    fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR
+                    )
+                    created = True
+                except FileExistsError:
+                    fd = os.open(self.path, os.O_CREAT | os.O_RDWR)
+                    created = False
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                # flock can fail on e.g. NFS mounts: release the fd
+                # (not just leak it) and use the lock-file protocol.
+                # If the file is our own creation, remove it -- a
+                # fresh-mtime leftover would wedge the O_EXCL fallback
+                # until it goes stale.
+                os.close(fd)
+                if created:
+                    self.path.unlink(missing_ok=True)
+            else:
+                self._fd = fd
+                obs.add_time("store.lock_wait", time.perf_counter() - t0)
+                return self
         # portable fallback: spin on exclusive creation
         deadline = time.monotonic() + self.timeout_s
         while True:
@@ -108,15 +171,11 @@ class _FileLock:
                     self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR
                 )
                 self._exclusive_file = True
+                obs.add_time("store.lock_wait", time.perf_counter() - t0)
                 return self
             except FileExistsError:
-                try:
-                    if (time.time() - self.path.stat().st_mtime
-                            > self.stale_s):
-                        self.path.unlink(missing_ok=True)
-                        continue
-                except OSError:
-                    pass
+                if self._break_stale():
+                    continue
                 if time.monotonic() > deadline:
                     raise TimeoutError(
                         f"could not acquire store lock {self.path}"
@@ -125,17 +184,27 @@ class _FileLock:
 
     def __exit__(self, *exc) -> None:
         if self._fd is not None:
-            try:
-                import fcntl
+            if not self._exclusive_file:
+                try:
+                    import fcntl
 
-                fcntl.flock(self._fd, fcntl.LOCK_UN)
-            except ImportError:
-                pass
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                except (ImportError, OSError):
+                    pass
             os.close(self._fd)
             self._fd = None
         if self._exclusive_file:
             Path(self.path).unlink(missing_ok=True)
             self._exclusive_file = False
+
+
+#: bucket paths already warned about this process (one-shot warnings)
+_WARNED_BUCKETS: set = set()
+
+
+def _reset_bucket_warnings() -> None:
+    """Re-arm the one-shot corruption warnings (test hook)."""
+    _WARNED_BUCKETS.clear()
 
 
 class ReplayMemoStore:
@@ -152,21 +221,50 @@ class ReplayMemoStore:
         return self.root / f"{bucket}.lock"
 
     def _read_payload(self, path: Path) -> Dict[bytes, object]:
-        """Entries of one bucket file; {} on absence/corruption/mismatch."""
+        """Entries of one bucket file; {} on absence/corruption/mismatch.
+
+        Absence is a normal cold read.  Corruption and version/schema
+        mismatches also read as empty (the bucket is then rewritten at
+        the current version), but they bump a telemetry counter and
+        warn once per bucket -- a poisoned cache after a
+        :data:`STORE_VERSION` bump must not masquerade as a cold run.
+        """
         try:
             with open(path, "rb") as f:
                 payload = pickle.load(f)
+        except FileNotFoundError:
+            return {}
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                ImportError, IndexError, ValueError) as exc:
+            self._note_bad_bucket(path, "store.bucket_corrupt",
+                                  f"unreadable ({exc!r})")
             return {}
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != _SCHEMA
             or payload.get("version") != STORE_VERSION
         ):
+            got = (payload.get("version")
+                   if isinstance(payload, dict) else None)
+            self._note_bad_bucket(
+                path, "store.bucket_version_mismatch",
+                f"schema/version mismatch (got {got!r}, "
+                f"want {STORE_VERSION})",
+            )
             return {}
         entries = payload.get("entries")
         return entries if isinstance(entries, dict) else {}
+
+    def _note_bad_bucket(self, path: Path, counter: str, why: str) -> None:
+        obs.count(counter)
+        if path not in _WARNED_BUCKETS:
+            _WARNED_BUCKETS.add(path)
+            warnings.warn(
+                f"replay-store bucket {path.name!r} ignored: {why}; "
+                f"treating as empty and rewriting on next merge",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _write_payload(self, path: Path,
                        entries: Dict[bytes, object]) -> None:
@@ -177,6 +275,7 @@ class ReplayMemoStore:
             "entries": entries,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
+        t0 = time.perf_counter()
         fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                    prefix=path.name, suffix=".tmp")
         try:
@@ -189,11 +288,15 @@ class ReplayMemoStore:
             except OSError:
                 pass
             raise
+        obs.add_time("store.bucket_flush", time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     def load_bucket(self, bucket: str) -> Dict[bytes, object]:
         """Load every entry of ``bucket`` (empty dict when cold)."""
-        return self._read_payload(self.bucket_path(bucket))
+        t0 = time.perf_counter()
+        entries = self._read_payload(self.bucket_path(bucket))
+        obs.add_time("store.bucket_load", time.perf_counter() - t0)
+        return entries
 
     def merge_bucket(self, bucket: str,
                      entries: Dict[bytes, object]) -> int:
@@ -206,12 +309,13 @@ class ReplayMemoStore:
         if not entries:
             return self.size(bucket)
         path = self.bucket_path(bucket)
-        with _FileLock(self._lock_path(bucket)):
-            current = self._read_payload(path)
-            merged = dict(entries)
-            merged.update(current)
-            self._write_payload(path, merged)
-            return len(merged)
+        with obs.span("store.bucket_merge"):
+            with _FileLock(self._lock_path(bucket)):
+                current = self._read_payload(path)
+                merged = dict(entries)
+                merged.update(current)
+                self._write_payload(path, merged)
+                return len(merged)
 
     def size(self, bucket: str) -> int:
         return len(self.load_bucket(bucket))

@@ -24,6 +24,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import DoubleFree
 from .heap import Heap
 
@@ -84,6 +85,7 @@ class Allocator(abc.ABC):
         self.stats.allocations += 1
         self.stats.live_bytes += size
         self.stats.modeled_alloc_cycles += self.ALLOC_CYCLE_COST
+        obs.count("memory.alloc_objects")
         self.heap.fill(addr, size, 0)
         return addr
 
@@ -96,6 +98,7 @@ class Allocator(abc.ABC):
         self._unplace_object(addr, type_key, size)
         self.stats.frees += 1
         self.stats.live_bytes -= size
+        obs.count("memory.free_objects")
 
     def free_objects_many(self, ptrs: np.ndarray) -> None:
         """Free a batch of pointers (vectorised mirror of the alloc side).
@@ -128,6 +131,7 @@ class Allocator(abc.ABC):
         self._unplace_many(addr_list, type_keys, sizes)
         self.stats.frees += len(addr_list)
         self.stats.live_bytes -= freed_bytes
+        obs.count("memory.free_objects", len(addr_list))
 
     def _unplace_many(self, addrs: List[int], type_keys: List[Hashable],
                       sizes: List[int]) -> None:

@@ -3,6 +3,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.__main__ import EXPERIMENTS, main
 from repro.harness.registry import experiment_names
 
@@ -118,6 +119,69 @@ def test_all_parallel_with_store(capsys, tmp_path):
     assert m["store"]["enabled"] is True
     outcomes = set(m["totals"]["outcomes"])
     assert outcomes <= {"ok", "retried"}
+
+
+def test_all_telemetry_covers_every_layer(capsys, tmp_path):
+    # --telemetry dumps one merged registry; worker spans and counters
+    # from machine, service and store all land in it
+    telemetry = tmp_path / "telemetry.json"
+    assert main([
+        "all", "--workers", "2", "--quick",
+        "--scale", "0.04", "--workloads", "TRAF",
+        "--store-dir", str(tmp_path / "store"),
+        "--manifest", str(tmp_path / "manifest.json"),
+        "--telemetry", str(telemetry),
+    ]) == 0
+    assert f"[telemetry: {telemetry}]" in capsys.readouterr().out
+    payload = json.loads(telemetry.read_text())
+    obs.validate_payload(payload)
+    counters = payload["counters"]
+    assert counters["machine.launches"] > 0
+    assert counters["service.shards_ok"] > 0
+    assert counters.get("store.bucket_corrupt", 0) == 0
+    def names(spans):
+        for s in spans:
+            yield s["name"]
+            yield from names(s["children"])
+
+    span_names = set(names(payload["spans"]))
+    assert "service.run" in span_names
+    assert any(n.startswith("service.shard.") for n in span_names)
+    # worker-side machine spans ride inside their shard span
+    assert "machine.launch" in span_names
+    # and the same payload is embedded in the run manifest
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["telemetry"]["counters"] == counters
+
+
+def test_all_serial_telemetry_dump(capsys, tmp_path):
+    # serial + storeless still produces a valid registry (no service
+    # worker counters, but the machine layer is there)
+    telemetry = tmp_path / "telemetry.json"
+    assert main([
+        "all", "--serial", "--no-store", "--quick",
+        "--scale", "0.04", "--workloads", "TRAF",
+        "--manifest", str(tmp_path / "manifest.json"),
+        "--telemetry", str(telemetry),
+    ]) == 0
+    payload = json.loads(telemetry.read_text())
+    obs.validate_payload(payload)
+    assert payload["counters"]["machine.launches"] > 0
+    assert payload["counters"]["service.shards_ok"] > 0
+
+
+def test_profile_experiment_renders_span_tree(capsys):
+    # 'profile <experiment>' runs it under a fresh registry and prints
+    # the nvtop-style span tree alongside the experiment's own render
+    from repro.harness import runner
+
+    runner.clear_cache()  # a warm cache would leave nothing to profile
+    assert main(["profile", "fig1", "--scale", "0.04"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1b" in out
+    assert "telemetry: fig1" in out
+    assert "machine.launch" in out
+    assert "machine.launches" in out
 
 
 def test_selfbench_service_subcommand(capsys, tmp_path):

@@ -2,17 +2,25 @@
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import sys
+import threading
+import time
+import warnings
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.gpu.config import small_config
 from repro.gpu.machine import Machine
 from repro.harness.store import (
     STORE_VERSION,
     PersistentReplayMemo,
     ReplayMemoStore,
+    _FileLock,
+    _reset_bucket_warnings,
     bucket_name,
     default_store_dir,
     memo_for,
@@ -94,6 +102,160 @@ def test_corrupt_file_treated_as_empty(store):
     path.write_bytes(b"\x80\x05 this is not a pickle")
     assert store.load_bucket("b") == {}
     assert store.merge_bucket("b", {b"k": 1}) == 1
+
+
+@pytest.fixture
+def fresh_obs():
+    reg = obs.Registry(enabled=True)
+    prev = obs.set_registry(reg)
+    _reset_bucket_warnings()
+    try:
+        yield reg
+    finally:
+        obs.set_registry(prev)
+        _reset_bucket_warnings()
+
+
+def test_corrupt_bucket_warns_once_and_counts(store, fresh_obs):
+    path = store.bucket_path("b")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"\x80\x05 this is not a pickle")
+    with pytest.warns(RuntimeWarning, match="b.pkl"):
+        assert store.load_bucket("b") == {}
+    assert fresh_obs.counters["store.bucket_corrupt"] == 1
+    # one-shot per bucket: the second read counts but stays quiet
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert store.load_bucket("b") == {}
+    assert fresh_obs.counters["store.bucket_corrupt"] == 2
+
+
+def test_version_mismatch_warns_and_counts(store, fresh_obs):
+    store.merge_bucket("b", {b"k": 1})
+    path = store.bucket_path("b")
+    payload = pickle.loads(path.read_bytes())
+    payload["version"] = STORE_VERSION + 1
+    path.write_bytes(pickle.dumps(payload))
+    with pytest.warns(RuntimeWarning, match="version"):
+        assert store.load_bucket("b") == {}
+    assert fresh_obs.counters["store.bucket_version_mismatch"] == 1
+
+
+def test_cold_read_is_silent(store, fresh_obs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert store.load_bucket("never-written") == {}
+    assert "store.bucket_corrupt" not in fresh_obs.counters
+    assert "store.bucket_version_mismatch" not in fresh_obs.counters
+
+
+# ----------------------------------------------------------------------
+# _FileLock: fcntl fallback and stale-lock handling
+# ----------------------------------------------------------------------
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def test_lock_file_fallback_without_fcntl(tmp_path, monkeypatch):
+    """With fcntl unavailable the O_EXCL lock-file protocol engages."""
+    monkeypatch.setitem(sys.modules, "fcntl", None)  # import -> ImportError
+    path = tmp_path / "b.lock"
+    with _FileLock(path) as lock:
+        assert lock._exclusive_file
+        assert path.exists()
+        # a second contender cannot acquire while we hold it
+        with pytest.raises(TimeoutError):
+            with _FileLock(path, timeout_s=0.05):
+                pass
+    assert not path.exists()
+
+
+def test_flock_oserror_falls_back_without_leaking_fds(tmp_path, monkeypatch):
+    """An OSError from flock (e.g. NFS) must close the opened fd and
+    fall back to the lock-file protocol, not propagate."""
+    import fcntl as real_fcntl
+
+    def broken_flock(fd, op):
+        raise OSError("flock not supported on this filesystem")
+
+    monkeypatch.setattr(real_fcntl, "flock", broken_flock)
+    path = tmp_path / "b.lock"
+    before = _open_fds()
+    with _FileLock(path) as lock:
+        assert lock._exclusive_file  # acquired via the fallback
+        assert _open_fds() == before + 1  # exactly the fallback fd
+    assert _open_fds() == before
+    assert not path.exists()
+
+
+def test_stale_lock_is_broken_and_acquired(tmp_path, monkeypatch):
+    monkeypatch.setitem(sys.modules, "fcntl", None)
+    path = tmp_path / "b.lock"
+    path.write_bytes(b"")
+    old = time.time() - 1000.0
+    os.utime(path, (old, old))
+    with _FileLock(path, timeout_s=5.0, stale_s=300.0) as lock:
+        assert lock._exclusive_file
+    assert not path.exists()
+
+
+def test_stale_break_has_exactly_one_winner(tmp_path):
+    """Many waiters judging the same lock stale: the rename-based break
+    lets exactly one proceed (a raw unlink lets several 'win' and then
+    hold the exclusive lock concurrently)."""
+    path = tmp_path / "b.lock"
+    n = 8
+    winners = []
+    barrier = threading.Barrier(n)
+
+    def contend():
+        lock = _FileLock(path, stale_s=300.0)
+        barrier.wait()
+        winners.append(lock._break_stale())
+
+    for trial in range(5):
+        path.write_bytes(b"")
+        old = time.time() - 1000.0
+        os.utime(path, (old, old))
+        winners.clear()
+        threads = [threading.Thread(target=contend) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert sum(winners) == 1, f"trial {trial}: {winners}"
+        assert not path.exists()
+
+
+def _merge_worker_no_fcntl(root, wid, n):
+    sys.modules["fcntl"] = None  # force the lock-file fallback
+    s = ReplayMemoStore(root)
+    for i in range(n):
+        s.merge_bucket("shared", {f"w{wid}-{i}".encode(): (wid, i)})
+
+
+def test_concurrent_fallback_writers_lose_nothing(store):
+    """The lock-file protocol under real contention, stale file present
+    at the start: every entry must survive."""
+    lock_path = store._lock_path("shared")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path.write_bytes(b"")
+    old = time.time() - 1000.0
+    os.utime(lock_path, (old, old))
+    n_workers, n_entries = 4, 10
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=_merge_worker_no_fcntl,
+                    args=(str(store.root), w, n_entries))
+        for w in range(n_workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    merged = store.load_bucket("shared")
+    assert len(merged) == n_workers * n_entries
 
 
 def test_clear_removes_buckets(store):

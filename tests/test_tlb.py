@@ -2,6 +2,7 @@
 import dataclasses
 
 import numpy as np
+import pytest
 
 from repro import Machine
 from repro.gpu.config import small_config
@@ -55,6 +56,31 @@ class TestTLBHierarchy:
         addrs = np.array([0, 8, 16, PAGE_SIZE + 4], dtype=np.uint64)
         tlb.translate_pages(0, addrs)
         assert tlb.stats.l1_accesses == 2  # two distinct pages
+
+    def test_out_of_range_sm_raises(self):
+        """Wrapping an out-of-range SM id would silently alias two SMs'
+        L1 TLB state and corrupt the ablation's hit rates."""
+        tlb = TLBHierarchy(num_sms=2)
+        a = np.array([0], dtype=np.uint64)
+        with pytest.raises(IndexError):
+            tlb.translate_pages(2, a)
+        with pytest.raises(IndexError):
+            tlb.translate_pages(-1, a)
+        # and nothing was charged by the failed probes
+        assert tlb.stats.l1_accesses == 0
+
+    def test_signed_addrs_compute_exact_pages(self):
+        """A signed trace dtype must not promote the page divide to
+        float64 (loses exactness above 2**53)."""
+        base = np.uint64((1 << 62) + 5 * PAGE_SIZE)
+        signed = np.array([base, base + np.uint64(8)]).astype(np.int64)
+        t1 = TLBHierarchy(num_sms=1)
+        t1.translate_pages(0, signed)
+        assert t1.stats.l1_accesses == 1  # one distinct page, exactly
+        t2 = TLBHierarchy(num_sms=1)
+        t2.translate_pages(0, signed.astype(np.uint64))
+        # signed and unsigned traces see identical TLB state
+        assert t1.l1s[0]._map.keys() == t2.l1s[0]._map.keys()
 
 
 class TestMachineIntegration:
