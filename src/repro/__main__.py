@@ -13,6 +13,10 @@ Usage::
     python -m repro fuzz 100                   # differential dispatch fuzzing
     python -m repro selfbench                  # time the replay engines
     python -m repro selfbench service          # serial vs parallel vs warm
+    python -m repro serve --port 7453          # experiment-serving daemon
+    python -m repro submit fig6 --quick        # submit to a running daemon
+    python -m repro status                     # daemon queue/cache status
+    python -m repro drain                      # graceful daemon shutdown
 
 Every experiment is an entry in :mod:`repro.harness.registry`; the CLI
 is a registry lookup.  ``all`` goes through the parallel
@@ -46,6 +50,50 @@ EXPERIMENTS = {
         _n, ExperimentOptions(scale=scale)))
     for name in experiment_names()
 }
+
+#: leading commands routed to the serving daemon's own CLI parsers
+SERVE_COMMANDS = ("serve", "submit", "status", "drain")
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an int strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text!r}")
+    return value
+
+
+def _unknown_experiment_message(name: str) -> str:
+    """An actionable error for a bad experiment id, with close matches."""
+    import difflib
+
+    known = list(experiment_names()) + [
+        "all", "list", "disasm", "profile", "fuzz", "selfbench",
+        *SERVE_COMMANDS,
+    ]
+    msg = f"unknown experiment {name!r}"
+    close = difflib.get_close_matches(name, known, n=3)
+    if close:
+        msg += f"; did you mean: {', '.join(close)}?"
+    return msg + " (see 'python -m repro list')"
 
 
 def _options_from(args) -> ExperimentOptions:
@@ -98,6 +146,12 @@ def _run_all(args) -> int:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SERVE_COMMANDS:
+        from .serve.cli import serve_cli_main
+
+        return serve_cli_main(argv)
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the tables and figures of 'Judging a Type "
@@ -120,7 +174,7 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="shrink the self-sized experiments to smoke "
                              "size (CI; pair with a small --scale)")
-    parser.add_argument("--workers", type=int, default=None,
+    parser.add_argument("--workers", type=_positive_int, default=None,
                         help="worker processes for 'all' / 'selfbench "
                              "service' (default: min(8, cpu count))")
     parser.add_argument("--serial", action="store_true",
@@ -137,7 +191,7 @@ def main(argv=None) -> int:
                         help="dump the merged span/counter registry of "
                              "'all' (machine + service + store layers) "
                              "to this JSON path")
-    parser.add_argument("--timeout", type=float, default=900.0,
+    parser.add_argument("--timeout", type=_positive_float, default=900.0,
                         help="per-shard timeout in seconds (default 900)")
     parser.add_argument("--output", default=None,
                         help="output path for 'selfbench' "
@@ -151,7 +205,8 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name in experiment_names():
             print(f"{name:8s} {get_experiment(name).description}")
-        print("plus: all | disasm | profile | fuzz | selfbench [service]")
+        print("plus: all | disasm | profile | fuzz | selfbench [service] "
+              "| serve | submit | status | drain")
         return 0
 
     if args.experiment == "selfbench":
@@ -238,7 +293,7 @@ def main(argv=None) -> int:
         return _run_all(args)
 
     if args.experiment not in EXPERIMENT_REGISTRY:
-        parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
+        parser.error(_unknown_experiment_message(args.experiment))
 
     exp = get_experiment(args.experiment)
     t0 = time.time()

@@ -35,6 +35,7 @@ is written next to ``benchmarks/results/`` by the CLI.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
@@ -63,6 +64,72 @@ DEFAULT_MANIFEST_PATH = os.path.join(
 #: default per-shard timeout (generous: a shard is one sweep cell or
 #: one self-contained experiment, not the whole suite)
 DEFAULT_TIMEOUT_S = 900.0
+
+#: every outcome a shard report may carry
+SHARD_OUTCOMES = ("ok", "retried", "timeout", "fallback")
+
+#: every mode a manifest may carry
+MANIFEST_MODES = ("serial", "parallel", "fallback")
+
+
+def validate_manifest(payload) -> None:
+    """Schema-check a run manifest; raises ``ValueError`` on violation.
+
+    The manifest counterpart of :func:`repro.obs.validate_payload` and
+    :func:`repro.serve.protocol.validate_envelope`: the schema tag and
+    mode must be known, every shard entry well-typed with a known
+    outcome, and the totals block consistent with the shard list
+    (counts, outcome histogram, memo sums).  ``write_manifest`` runs it
+    before anything lands on disk, and the serving daemon runs it on
+    every manifest a job produces.
+    """
+    if not isinstance(payload, dict) or payload.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(f"not a {MANIFEST_SCHEMA} payload: {payload!r:.80}")
+    if payload.get("mode") not in MANIFEST_MODES:
+        raise ValueError(f"unknown manifest mode {payload.get('mode')!r}")
+    num_workers = payload.get("num_workers")
+    if not isinstance(num_workers, int) or num_workers < 1:
+        raise ValueError(f"num_workers is not a positive int: "
+                         f"{num_workers!r}")
+    shards = payload.get("shards")
+    if not isinstance(shards, list):
+        raise ValueError("manifest 'shards' is not a list")
+    outcomes: Dict[str, int] = {}
+    hits = misses = 0
+    for shard in shards:
+        if not isinstance(shard, dict):
+            raise ValueError(f"shard entry is not an object: {shard!r:.60}")
+        name = shard.get("shard")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"shard has no name: {shard!r:.60}")
+        if shard.get("outcome") not in SHARD_OUTCOMES:
+            raise ValueError(f"shard {name}: unknown outcome "
+                             f"{shard.get('outcome')!r}")
+        if not isinstance(shard.get("attempts"), int) or shard["attempts"] < 1:
+            raise ValueError(f"shard {name}: attempts must be >= 1")
+        for field_ in ("wall_s", "memo_hits", "memo_misses"):
+            value = shard.get(field_)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"shard {name}: {field_} is not a "
+                                 f"non-negative number: {value!r}")
+        outcomes[shard["outcome"]] = outcomes.get(shard["outcome"], 0) + 1
+        hits += shard["memo_hits"]
+        misses += shard["memo_misses"]
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        raise ValueError("manifest 'totals' is not an object")
+    if totals.get("shards") != len(shards):
+        raise ValueError(f"totals.shards ({totals.get('shards')!r}) != "
+                         f"len(shards) ({len(shards)})")
+    if totals.get("outcomes") != outcomes:
+        raise ValueError(f"totals.outcomes {totals.get('outcomes')!r} "
+                         f"disagrees with the shard list ({outcomes!r})")
+    if totals.get("memo_hits") != hits or totals.get("memo_misses") != misses:
+        raise ValueError("totals memo hits/misses disagree with the "
+                         "shard list")
+    rate = totals.get("memo_hit_rate")
+    if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+        raise ValueError(f"memo_hit_rate out of [0, 1]: {rate!r}")
 
 
 def default_num_workers() -> int:
@@ -174,7 +241,6 @@ def run_shards(
     pending = deque((i, 1) for i in range(n))
     running: Dict[int, _Running] = {}
     first_start: Dict[int, float] = {}
-    parallel_ok = True
 
     def finish(i: int, task: _Running, outcome: str, value: Any,
                error: Optional[str] = None) -> None:
@@ -201,6 +267,35 @@ def run_shards(
             task.proc.kill()
             task.proc.join(timeout=5.0)
 
+    try:
+        _schedule_shards(
+            pending, running, first_start, num_workers, timeout_s,
+            ctx, worker, items, run_serial, finish, fail, reap,
+        )
+    except BaseException:
+        # KeyboardInterrupt / SIGTERM-raised SystemExit (or anything
+        # else fatal) in the parent: terminate and join every live
+        # shard process before re-raising, so an interrupted run can't
+        # orphan workers still holding replay-store locks.
+        for task in running.values():
+            try:
+                task.proc.terminate()
+            except Exception:
+                pass
+        for i, task in list(running.items()):
+            reap(i, task)
+        running.clear()
+        raise
+
+    return values, [r for r in reports if r is not None]
+
+
+def _schedule_shards(pending, running, first_start, num_workers, timeout_s,
+                     ctx, worker, items, run_serial, finish, fail,
+                     reap) -> None:
+    """The ``run_shards`` scheduling loop (split out so the interrupt
+    path of the caller can clean up ``running`` uniformly)."""
+    parallel_ok = True
     while pending or running:
         launched = False
         while pending and len(running) < num_workers and parallel_ok:
@@ -272,8 +367,6 @@ def run_shards(
                 progressed = True
         if not progressed:
             time.sleep(0.005)
-
-    return values, [r for r in reports if r is not None]
 
 
 # ----------------------------------------------------------------------
@@ -348,7 +441,13 @@ class ServiceRun:
 
 
 class ExperimentService:
-    """Schedules registry experiments over a worker pool + replay store."""
+    """Schedules registry experiments over a worker pool + replay store.
+
+    One instance may be driven from several threads (the serving daemon
+    offloads each job to a thread pool): ``run``/``warm_cells``
+    serialize on an internal lock, because both the run-scoped telemetry
+    registry swap and the in-process runner cache are process-wide.
+    """
 
     def __init__(
         self,
@@ -365,6 +464,7 @@ class ExperimentService:
         self.store = (ReplayMemoStore(self.store_dir)
                       if self.store_dir else None)
         self.last_run: Optional[ServiceRun] = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _cell_payload(self, wl: str, tech: str,
@@ -409,20 +509,23 @@ class ExperimentService:
         options = options or ExperimentOptions()
         names = list(names) if names is not None else list(experiment_names())
         experiments = [get_experiment(n) for n in names]
-        warm_start = self.store.is_warm() if self.store else False
-        t0 = time.perf_counter()
+        with self._lock:
+            warm_start = self.store.is_warm() if self.store else False
+            t0 = time.perf_counter()
 
-        # run-scoped telemetry: the manifest carries exactly this run's
-        # spans and counters, not whatever the process did before
-        run_reg = obs.Registry()
-        prev_reg = obs.set_registry(run_reg)
-        try:
-            run = self._run_under_registry(
-                names, experiments, options, warm_start, t0, manifest_path)
-        finally:
-            obs.set_registry(prev_reg)
-            if prev_reg.enabled:
-                prev_reg.merge_dict(run_reg.to_dict())
+            # run-scoped telemetry: the manifest carries exactly this
+            # run's spans and counters, not whatever the process did
+            # before
+            run_reg = obs.Registry()
+            prev_reg = obs.set_registry(run_reg)
+            try:
+                run = self._run_under_registry(
+                    names, experiments, options, warm_start, t0,
+                    manifest_path)
+            finally:
+                obs.set_registry(prev_reg)
+                if prev_reg.enabled:
+                    prev_reg.merge_dict(run_reg.to_dict())
         return run
 
     def _run_under_registry(self, names, experiments, options, warm_start,
@@ -482,22 +585,23 @@ class ExperimentService:
         options = options or ExperimentOptions()
         names = list(names) if names is not None else list(experiment_names())
         experiments = [get_experiment(n) for n in names]
-        cells = self._missing_cells(experiments, options)
-        payloads = [self._cell_payload(wl, tech, options)
-                    for wl, tech in cells]
-        values, reports = run_shards(
-            payloads, _service_worker,
-            num_workers=self.num_workers, timeout_s=self.timeout_s,
-            labels=[f"{wl}x{tech}" for wl, tech in cells],
-            kinds=["cell"] * len(cells),
-        )
-        self._absorb_shard_telemetry(reports, values)
-        for (wl, tech), value in zip(cells, values):
-            cache_put(
-                cache_key(wl, tech, options.scale, None,
-                          options.config, options.seed),
-                value["value"],
+        with self._lock:
+            cells = self._missing_cells(experiments, options)
+            payloads = [self._cell_payload(wl, tech, options)
+                        for wl, tech in cells]
+            values, reports = run_shards(
+                payloads, _service_worker,
+                num_workers=self.num_workers, timeout_s=self.timeout_s,
+                labels=[f"{wl}x{tech}" for wl, tech in cells],
+                kinds=["cell"] * len(cells),
             )
+            self._absorb_shard_telemetry(reports, values)
+            for (wl, tech), value in zip(cells, values):
+                cache_put(
+                    cache_key(wl, tech, options.scale, None,
+                              options.config, options.seed),
+                    value["value"],
+                )
         return reports
 
     @staticmethod
@@ -588,6 +692,7 @@ class ExperimentService:
         import json
         from pathlib import Path
 
+        validate_manifest(manifest)
         p = Path(path)
         p.parent.mkdir(parents=True, exist_ok=True)
         with open(p, "w") as f:

@@ -28,7 +28,12 @@ runs it against the ``--telemetry`` dump of the smoke run).
 
 Span/counter naming scheme (see DESIGN.md section 5.3): dotted
 ``<layer>.<event>``, where layer is one of ``machine``, ``runner``,
-``service``, ``store``, ``memory``.
+``service``, ``store``, ``memory``, ``serve``.  The serving daemon
+(:mod:`repro.serve`) records admission/queue/cache counters
+(``serve.submits``, ``serve.cache_hits``, ``serve.dedup_joined``,
+``serve.rejected_queue_full``, ...) and per-experiment latency under
+``serve.job.<experiment>``; its ``stats`` protocol verb returns this
+registry's live :meth:`Registry.to_dict` snapshot.
 """
 from __future__ import annotations
 
@@ -153,6 +158,18 @@ class Registry:
             node.count += count
             node.total_s += seconds
 
+    def add_root_time(self, name: str, seconds: float,
+                      count: int = 1) -> None:
+        """Fold a duration in at the root of the tree. For reporters on
+        other threads (the serve daemon's job callbacks): their wall
+        time overlaps whatever span the owning thread currently has
+        open, so nesting there would break the children-<=-parent
+        invariant -- same reason worker merges land at the root."""
+        if self.enabled:
+            node = self.root.child(name)
+            node.count += count
+            node.total_s += seconds
+
     def span(self, name: str):
         """``with registry.span("store.bucket_merge"): ...``"""
         if not self.enabled:
@@ -217,6 +234,10 @@ def count(name: str, n: int = 1) -> None:
 
 def add_time(name: str, seconds: float, count: int = 1) -> None:
     _REGISTRY.add_time(name, seconds, count)
+
+
+def add_root_time(name: str, seconds: float, count: int = 1) -> None:
+    _REGISTRY.add_root_time(name, seconds, count)
 
 
 def span(name: str):

@@ -1,0 +1,128 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+One request per connection (the daemon is long-lived, connections are
+cheap); every reply is schema-checked with
+:func:`repro.serve.protocol.validate_envelope` before it is returned.
+
+Example::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(socket_path="/tmp/repro-serve.sock")
+    client.wait_until_ready(10.0)
+    reply = client.submit("fig6", scale=0.05, quick=True)
+    if reply["ok"]:
+        print(reply["rendered"])
+    elif reply["error"] == "queue_full":
+        time.sleep(reply["retry_after"])   # explicit backpressure
+"""
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from . import protocol
+
+
+class ServeError(RuntimeError):
+    """Transport-level failure talking to the daemon."""
+
+
+class ServeClient:
+    """Blocking ``repro-serve/1`` client (TCP or Unix socket)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        socket_path: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        #: per-reply receive timeout (None: wait for the job to finish)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _connect(self, wait_s: float = 0.0) -> socket.socket:
+        """Connect, optionally retrying a not-yet-listening daemon."""
+        deadline = time.monotonic() + wait_s
+        while True:
+            try:
+                if self.socket_path:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    try:
+                        sock.connect(self.socket_path)
+                    except OSError:
+                        sock.close()
+                        raise
+                else:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=10.0)
+                sock.settimeout(self.timeout)
+                return sock
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"cannot connect to {self._endpoint()}: {exc}"
+                    ) from exc
+                time.sleep(0.05)
+
+    def _endpoint(self) -> str:
+        if self.socket_path:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    def request(self, verb: str, *, wait_s: float = 0.0,
+                **fields: Any) -> Dict[str, Any]:
+        """Send one request, return the validated reply envelope."""
+        sock = self._connect(wait_s)
+        try:
+            protocol.send_frame(sock, protocol.request(verb, **fields))
+            reply = protocol.recv_frame(sock)
+        except OSError as exc:
+            raise ServeError(
+                f"lost connection to {self._endpoint()}: {exc}") from exc
+        finally:
+            sock.close()
+        if reply is None:
+            raise ServeError(
+                f"daemon at {self._endpoint()} closed the connection "
+                f"without replying")
+        protocol.validate_envelope(reply)
+        return reply
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def submit(self, experiment: str, *, params: Optional[Dict] = None,
+               scale: Optional[float] = None, seed: int = 7,
+               quick: bool = False, wait_s: float = 0.0) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "experiment": experiment, "seed": seed, "quick": quick,
+            "params": params or {},
+        }
+        if scale is not None:
+            fields["scale"] = scale
+        return self.request("submit", wait_s=wait_s, **fields)
+
+    def status(self, wait_s: float = 0.0) -> Dict[str, Any]:
+        return self.request("status", wait_s=wait_s)
+
+    def health(self, wait_s: float = 0.0) -> Dict[str, Any]:
+        return self.request("health", wait_s=wait_s)
+
+    def stats(self, wait_s: float = 0.0) -> Dict[str, Any]:
+        return self.request("stats", wait_s=wait_s)
+
+    def drain(self, wait_s: float = 0.0) -> Dict[str, Any]:
+        return self.request("drain", wait_s=wait_s)
+
+    def experiments(self, wait_s: float = 0.0) -> Dict[str, Any]:
+        return self.request("experiments", wait_s=wait_s)
+
+    def wait_until_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Block until the daemon answers ``health`` (or raise)."""
+        return self.health(wait_s=timeout)

@@ -1,0 +1,152 @@
+"""Job table and admission control for the serving daemon.
+
+Admission is decided entirely on the event loop (single-threaded), in
+strict priority order for every ``submit``:
+
+1. **cache** -- the key's result is in the LRU cache: answer
+   immediately, no work admitted;
+2. **dedup** -- an identical job is already queued or running: the new
+   request *joins* it (awaits the same future), so any number of
+   concurrent identical submissions collapse into one computation;
+3. **backpressure** -- the bounded job table is full: reject with a
+   ``retry_after`` estimate instead of buffering without bound;
+4. **admit** -- enqueue a fresh job.
+
+``retry_after`` is derived from an EWMA of recent job wall times: the
+expected time until a queue slot frees, given the current depth and the
+number of executor threads.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .cache import LRUCache
+
+#: default bound on distinct queued+running jobs
+DEFAULT_QUEUE_LIMIT = 16
+
+#: ``retry_after`` fallback before any job has completed
+_COLD_RETRY_AFTER_S = 5.0
+
+
+def job_key(spec: Dict[str, Any]) -> str:
+    """Canonical dedup/cache key for one submit spec.
+
+    The spec fields (experiment, params, scale, seed, quick) fully
+    determine the computation -- the daemon runs one registry under one
+    GPU config -- so a sorted-key JSON dump is a stable identity.
+    """
+    return json.dumps(
+        {
+            "experiment": spec["experiment"],
+            "scale": spec.get("scale"),
+            "seed": spec.get("seed"),
+            "quick": bool(spec.get("quick", False)),
+            "params": spec.get("params") or {},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+@dataclass
+class Job:
+    """One admitted computation; duplicate submissions share it."""
+
+    key: str
+    spec: Dict[str, Any]
+    future: "asyncio.Future" = field(repr=False)
+    waiters: int = 1
+
+
+@dataclass
+class Decision:
+    """What the admission controller decided for one submit."""
+
+    kind: str                       # cached | joined | rejected | admitted
+    job: Optional[Job] = None
+    result: Optional[Dict[str, Any]] = None
+    retry_after: Optional[float] = None
+
+
+class Admission:
+    """Bounded job table + LRU result cache + latency bookkeeping."""
+
+    def __init__(self, queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 cache_size: int = 64, job_threads: int = 1):
+        self.queue_limit = queue_limit
+        self.job_threads = max(1, job_threads)
+        self.cache = LRUCache(cache_size)
+        self.jobs: Dict[str, Job] = {}
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.dedup_joined = 0
+        self.rejected = 0
+        self.ewma_wall_s: Optional[float] = None
+        #: per-experiment latency totals: name -> [count, total_s]
+        self.latency: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def decide(self, key: str, spec: Dict[str, Any]) -> Decision:
+        cached = self.cache.get(key)
+        if cached is not None:
+            return Decision(kind="cached", result=cached)
+        job = self.jobs.get(key)
+        if job is not None:
+            job.waiters += 1
+            self.dedup_joined += 1
+            return Decision(kind="joined", job=job)
+        if len(self.jobs) >= self.queue_limit:
+            self.rejected += 1
+            return Decision(kind="rejected", retry_after=self.retry_after())
+        job = Job(key=key, spec=spec,
+                  future=asyncio.get_running_loop().create_future())
+        self.jobs[key] = job
+        self.admitted += 1
+        return Decision(kind="admitted", job=job)
+
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before resubmitting."""
+        if self.ewma_wall_s is None:
+            return _COLD_RETRY_AFTER_S
+        depth = max(1, len(self.jobs))
+        estimate = self.ewma_wall_s * depth / self.job_threads
+        return round(max(0.5, min(estimate, 600.0)), 2)
+
+    # ------------------------------------------------------------------
+    def complete(self, job: Job, result: Dict[str, Any],
+                 wall_s: float) -> None:
+        """A job finished: cache its result and free its queue slot."""
+        self.jobs.pop(job.key, None)
+        self.completed += 1
+        self.cache.put(job.key, result)
+        self.ewma_wall_s = (wall_s if self.ewma_wall_s is None
+                            else 0.7 * self.ewma_wall_s + 0.3 * wall_s)
+        bucket = self.latency.setdefault(job.spec["experiment"], [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += wall_s
+
+    def fail(self, job: Job) -> None:
+        """A job raised: free its slot without caching anything."""
+        self.jobs.pop(job.key, None)
+        self.failed += 1
+
+    # ------------------------------------------------------------------
+    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"count": count, "mean_s": total / count if count else 0.0}
+            for name, (count, total) in sorted(self.latency.items())
+        }
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "jobs_admitted": self.admitted,
+            "jobs_completed": self.completed,
+            "jobs_failed": self.failed,
+            "dedup_joined": self.dedup_joined,
+            "rejected_queue_full": self.rejected,
+        }

@@ -31,6 +31,64 @@ def test_unknown_experiment():
         main(["figZZZ"])
 
 
+def test_unknown_experiment_exits_2_with_hint(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fig66"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig66'" in err
+    assert "did you mean" in err and "fig6" in err
+
+
+@pytest.mark.parametrize("args", [
+    ["all", "--workers", "0"],
+    ["all", "--workers", "-2"],
+    ["all", "--workers", "three"],
+    ["all", "--timeout", "0"],
+    ["all", "--timeout", "-1.5"],
+])
+def test_invalid_workers_and_timeout_rejected(capsys, args):
+    # nonsense resource knobs die in argparse (exit 2), not deep in the
+    # service with a confusing traceback
+    with pytest.raises(SystemExit) as excinfo:
+        main(args)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "must be a positive" in err or "expected a positive" in err
+
+
+@pytest.mark.parametrize("args", [
+    ["serve", "--workers", "0"],
+    ["serve", "--queue-limit", "0"],
+    ["serve", "--drain-grace", "-1"],
+    ["submit", "fig6", "--scale", "0"],
+])
+def test_serve_cli_validates_knobs(capsys, args):
+    with pytest.raises(SystemExit) as excinfo:
+        main(args)
+    assert excinfo.value.code == 2
+
+
+def test_submit_unknown_experiment_exits_2_locally(capsys):
+    # the client CLI rejects a bad id (with a hint) before connecting
+    with pytest.raises(SystemExit) as excinfo:
+        main(["submit", "fig66", "--socket", "/nonexistent.sock"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err and "fig6" in err
+
+
+def test_submit_without_daemon_fails_cleanly(capsys):
+    assert main(["submit", "fig6",
+                 "--socket", "/nonexistent/serve.sock"]) == 1
+    assert "submit failed" in capsys.readouterr().err
+
+
+def test_status_without_daemon_fails_cleanly(capsys):
+    assert main(["status", "--socket", "/nonexistent/serve.sock"]) == 1
+    assert "status failed" in capsys.readouterr().err
+
+
 def test_small_experiment_runs(capsys):
     assert main(["fig1", "--scale", "0.04"]) == 0
     out = capsys.readouterr().out

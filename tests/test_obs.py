@@ -56,6 +56,18 @@ class TestSpans:
         assert phase.count == 7
         assert phase.total_s == pytest.approx(0.25)
 
+    def test_add_root_time_ignores_the_open_span(self, reg):
+        # cross-thread reporters (serve job callbacks) must not nest
+        # under whatever span the owning thread happens to have open:
+        # their wall time overlaps it and would break children <= parent
+        with obs.span("outer"):
+            obs.add_root_time("job", 99.0)
+        assert "job" not in reg.root.children["outer"].children
+        job = reg.root.children["job"]
+        assert job.count == 1
+        assert job.total_s == pytest.approx(99.0)
+        obs.validate_payload(reg.to_dict())
+
     def test_exception_still_pops_the_stack(self, reg):
         with pytest.raises(RuntimeError):
             with obs.span("boom"):

@@ -1,0 +1,131 @@
+"""The ``repro-serve/1`` wire format: framing + envelope validation."""
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.serve import protocol
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_sync_frame_roundtrip():
+    a, b = socket.socketpair()
+    try:
+        msg = protocol.request("status", nested={"x": [1, 2, 3]})
+        protocol.send_frame(a, msg)
+        assert protocol.recv_frame(b) == msg
+        # frames are delimited: two back-to-back messages stay distinct
+        protocol.send_frame(a, protocol.request("health"))
+        protocol.send_frame(a, protocol.request("drain"))
+        assert protocol.recv_frame(b)["verb"] == "health"
+        assert protocol.recv_frame(b)["verb"] == "drain"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_frame_none_on_clean_eof():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        assert protocol.recv_frame(b) is None
+    finally:
+        b.close()
+
+
+def test_recv_frame_raises_on_truncated_frame():
+    a, b = socket.socketpair()
+    try:
+        frame = protocol.encode_frame(protocol.request("status"))
+        a.sendall(frame[:-3])
+        a.close()
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            protocol.recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_recv_frame_rejects_oversized_header():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack(">I", protocol.MAX_FRAME + 1))
+        with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+            protocol.recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_decode_body_rejects_non_objects():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_body(b"[1, 2, 3]")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_body(b"not json at all")
+
+
+def test_async_frame_roundtrip():
+    async def go():
+        a, b = socket.socketpair()
+        reader_a, writer_a = await asyncio.open_connection(sock=a)
+        reader_b, writer_b = await asyncio.open_connection(sock=b)
+        try:
+            await protocol.write_frame(
+                writer_a, protocol.response("health", status="ok"))
+            msg = await protocol.read_frame(reader_b)
+            assert msg["verb"] == "health" and msg["ok"] is True
+            writer_a.close()
+            await writer_a.wait_closed()
+            assert await protocol.read_frame(reader_b) is None
+        finally:
+            writer_b.close()
+    asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+def test_envelope_builders():
+    req = protocol.request("submit", experiment="fig6")
+    assert req["schema"] == protocol.SCHEMA and "ok" not in req
+    ok = protocol.response("submit", rendered="t")
+    assert ok["ok"] is True
+    err = protocol.error_reply("submit", "queue_full", retry_after=2.5)
+    assert err["ok"] is False and err["error"] == "queue_full"
+
+
+def test_validate_envelope_accepts_good_replies():
+    protocol.validate_envelope(protocol.response("status", inflight=0))
+    protocol.validate_envelope(
+        protocol.error_reply("submit", "queue_full", retry_after=1.5))
+    protocol.validate_envelope(
+        protocol.error_reply("error", "bad_request", detail="nope"))
+
+
+@pytest.mark.parametrize("payload", [
+    "not a dict",
+    {"schema": "repro-serve/999", "verb": "status", "ok": True},
+    {"schema": protocol.SCHEMA, "verb": "frobnicate", "ok": True},
+    {"schema": protocol.SCHEMA, "verb": "status"},              # no ok
+    {"schema": protocol.SCHEMA, "verb": "status", "ok": 1},     # not bool
+    {"schema": protocol.SCHEMA, "verb": "submit", "ok": False},  # no error
+    {"schema": protocol.SCHEMA, "verb": "submit", "ok": False,
+     "error": "made_up_code"},
+    {"schema": protocol.SCHEMA, "verb": "submit", "ok": False,
+     "error": "queue_full", "retry_after": -1},
+    {"schema": protocol.SCHEMA, "verb": "submit", "ok": False,
+     "error": "queue_full", "retry_after": True},
+])
+def test_validate_envelope_rejects_malformed(payload):
+    with pytest.raises(protocol.ProtocolError):
+        protocol.validate_envelope(payload)
+
+
+def test_oversized_outgoing_frame_rejected():
+    with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+        protocol.encode_frame(
+            protocol.response("stats", blob="x" * (protocol.MAX_FRAME + 1)))

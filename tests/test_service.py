@@ -1,8 +1,11 @@
 """The parallel experiment service: scheduling, robustness, bit-identity."""
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import os
+import select
+import threading
 import time
 
 import pytest
@@ -19,6 +22,7 @@ from repro.harness.service import (
     ShardReport,
     default_num_workers,
     run_shards,
+    validate_manifest,
 )
 
 #: options that run the whole registry in seconds
@@ -249,3 +253,125 @@ def test_install_store_memo_noop_without_store():
 def test_default_num_workers_bounded():
     n = default_num_workers()
     assert 1 <= n <= 8
+
+
+# ----------------------------------------------------------------------
+# interrupt robustness: no orphaned shard processes
+# ----------------------------------------------------------------------
+def _report_pid_and_hang(x):
+    """Worker that records its pid, then blocks until terminated.
+
+    Uses ``select`` (not ``time.sleep``) so the parent's patched
+    ``time.sleep`` never leaks into the forked child.
+    """
+    if not _in_worker():
+        return x
+    with open(os.path.join(_marker_dir[0], "worker.pid"), "w") as f:
+        f.write(str(os.getpid()))
+    while True:
+        select.select([], [], [], 1.0)
+
+
+def test_run_shards_interrupt_terminates_children(tmp_path, monkeypatch):
+    """Ctrl-C in the parent must not orphan live shard processes (they
+    hold replay-store locks)."""
+    from repro.harness import service
+
+    _marker_dir[0] = str(tmp_path)
+    pid_file = tmp_path / "worker.pid"
+    real_sleep = time.sleep
+
+    def interrupting_sleep(seconds):
+        if pid_file.exists():
+            raise KeyboardInterrupt
+        real_sleep(seconds)
+
+    monkeypatch.setattr(service.time, "sleep", interrupting_sleep)
+    with pytest.raises(KeyboardInterrupt):
+        run_shards([1], _report_pid_and_hang, num_workers=2, timeout_s=None)
+    monkeypatch.undo()
+
+    pid = int(pid_file.read_text())
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            break                     # terminated and fully reaped
+        time.sleep(0.05)
+    else:
+        os.kill(pid, 9)
+        pytest.fail(f"shard process {pid} survived the interrupt")
+
+
+# ----------------------------------------------------------------------
+# manifest validation + re-entrant (threaded) service use
+# ----------------------------------------------------------------------
+def test_validate_manifest_accepts_real_run():
+    service = ExperimentService(1, use_store=False)
+    run = service.run(["init"], QUICK)
+    validate_manifest(run.manifest)     # must not raise
+
+
+def test_validate_manifest_rejects_corruption():
+    service = ExperimentService(1, use_store=False)
+    manifest = service.run(["init"], QUICK).manifest
+
+    with pytest.raises(ValueError, match="not a"):
+        validate_manifest({"schema": "something-else/1"})
+    with pytest.raises(ValueError, match="mode"):
+        validate_manifest({**manifest, "mode": "warp-speed"})
+
+    bad = copy.deepcopy(manifest)
+    bad["totals"]["shards"] += 1
+    with pytest.raises(ValueError, match="totals.shards"):
+        validate_manifest(bad)
+
+    bad = copy.deepcopy(manifest)
+    bad["shards"][0]["outcome"] = "vanished"
+    with pytest.raises(ValueError, match="outcome"):
+        validate_manifest(bad)
+
+    bad = copy.deepcopy(manifest)
+    bad["shards"][0]["memo_hits"] += 5     # totals now disagree
+    with pytest.raises(ValueError, match="memo"):
+        validate_manifest(bad)
+
+    bad = copy.deepcopy(manifest)
+    bad["totals"]["memo_hit_rate"] = 1.5
+    with pytest.raises(ValueError, match="memo_hit_rate"):
+        validate_manifest(bad)
+
+
+def test_write_manifest_schema_checks_first(tmp_path):
+    path = tmp_path / "m.json"
+    with pytest.raises(ValueError):
+        ExperimentService.write_manifest(str(path), {"schema": "nope"})
+    assert not path.exists()
+
+
+def test_service_run_is_thread_safe():
+    """Two threads driving one service concurrently (the serving
+    daemon's usage pattern) serialize on the internal lock and both
+    produce correct, renderable results."""
+    service = ExperimentService(1, use_store=False)
+    results = {}
+    errors = []
+
+    def go(name):
+        try:
+            results[name] = service.run([name], QUICK)
+        except Exception as exc:       # pragma: no cover - failure path
+            errors.append((name, exc))
+
+    threads = [threading.Thread(target=go, args=(n,))
+               for n in ("init", "fig12b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors
+    assert set(results) == {"init", "fig12b"}
+    assert "speedup" in results["init"].render("init")
+    validate_manifest(results["init"].manifest)
+    validate_manifest(results["fig12b"].manifest)
