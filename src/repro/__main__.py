@@ -17,6 +17,7 @@ Usage::
     python -m repro submit fig6 --quick        # submit to a running daemon
     python -m repro status                     # daemon queue/cache status
     python -m repro drain                      # graceful daemon shutdown
+    python -m repro chaos --seeds 25           # fault-injection soak run
 
 Every experiment is an entry in :mod:`repro.harness.registry`; the CLI
 is a registry lookup.  ``all`` goes through the parallel
@@ -86,7 +87,7 @@ def _unknown_experiment_message(name: str) -> str:
     import difflib
 
     known = list(experiment_names()) + [
-        "all", "list", "disasm", "profile", "fuzz", "selfbench",
+        "all", "list", "disasm", "profile", "fuzz", "selfbench", "chaos",
         *SERVE_COMMANDS,
     ]
     msg = f"unknown experiment {name!r}"
@@ -145,12 +146,47 @@ def _run_all(args) -> int:
     return 0
 
 
+def _chaos_main(argv) -> int:
+    """``python -m repro chaos``: the fault-injection soak runner."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run seeded fault-injection schedules against the "
+                    "full store/service/serve stack and assert the "
+                    "recovery invariants (see DESIGN.md §5.5).",
+    )
+    parser.add_argument("--seeds", type=_positive_int, default=5,
+                        help="number of seeded schedules to run "
+                             "(default 5)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed of the range (default 0)")
+    parser.add_argument("--scale", type=_positive_float, default=0.05,
+                        help="workload scale per scenario (default 0.05)")
+    parser.add_argument("--experiments", default=None,
+                        help="comma-separated experiment ids each "
+                             "scenario submits (default: init)")
+    args = parser.parse_args(argv)
+
+    from .faults.chaos import DEFAULT_EXPERIMENTS, format_report, run_chaos
+
+    experiments = (tuple(e for e in args.experiments.split(",") if e)
+                   if args.experiments else DEFAULT_EXPERIMENTS)
+    for name in experiments:
+        if name not in EXPERIMENT_REGISTRY:
+            parser.error(_unknown_experiment_message(name))
+    report = run_chaos(args.seeds, args.start_seed, experiments,
+                       scale=args.scale)
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in SERVE_COMMANDS:
         from .serve.cli import serve_cli_main
 
         return serve_cli_main(argv)
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -206,7 +242,7 @@ def main(argv=None) -> int:
         for name in experiment_names():
             print(f"{name:8s} {get_experiment(name).description}")
         print("plus: all | disasm | profile | fuzz | selfbench [service] "
-              "| serve | submit | status | drain")
+              "| serve | submit | status | drain | chaos")
         return 0
 
     if args.experiment == "selfbench":
@@ -238,7 +274,8 @@ def main(argv=None) -> int:
         print(format_report(report))
         print(f"wrote {out} [{time.time() - t0:.1f}s]")
         ok = (report["counters_match"]
-              and report["telemetry_overhead"]["ok"])
+              and report["telemetry_overhead"]["ok"]
+              and report["failpoint_overhead"]["ok"])
         return 0 if ok else 1
 
     if args.experiment == "disasm":

@@ -1,0 +1,45 @@
+"""Typed errors raised by injected faults.
+
+Every error an armed failpoint raises derives from :class:`FaultError`
+(itself a :class:`~repro.errors.ReproError`), and carries the name of
+the failpoint that fired.  The chaos harness' accounting contract --
+"every injected fault is either retried or surfaced as a typed error"
+-- keys on exactly this: a recovery layer that retries calls
+:func:`repro.faults.note_retried`, a boundary that reports the failure
+to the caller calls :func:`repro.faults.note_surfaced`, and both walk
+the ``__cause__`` chain looking for a :class:`FaultError`.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ReproError
+
+
+class FaultError(ReproError):
+    """Base class for every error an armed failpoint injects."""
+
+    def __init__(self, failpoint: str, detail: Optional[str] = None):
+        self.failpoint = failpoint
+        super().__init__(
+            f"injected fault at failpoint {failpoint!r}"
+            + (f": {detail}" if detail else "")
+        )
+
+
+class InjectedFault(FaultError):
+    """The plain ``raise`` action: a generic injected failure."""
+
+
+class InjectedCorruption(FaultError):
+    """A ``corrupt`` action fired at a site that cannot mangle bytes."""
+
+
+class InjectedDisconnect(FaultError, ConnectionResetError):
+    """The ``disconnect`` action: a dropped connection.
+
+    Subclasses :class:`ConnectionResetError` so the serving daemon's
+    existing connection-teardown paths handle it exactly like a real
+    peer reset -- the fault flows through the production error path,
+    not a parallel test-only one.
+    """

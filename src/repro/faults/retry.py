@@ -1,0 +1,87 @@
+"""One retry policy for every recovery seam.
+
+Prior to this module the stack had three ad-hoc recovery loops: the
+store's lock-file poll (fixed 10ms spin), the service's retry-once
+shard resubmit, and the serve client's connect loop.  ``RetryPolicy``
+replaces the bespoke arithmetic with one bounded, jittered exponential
+backoff whose jitter stream is seeded -- so a chaos run with a fixed
+seed retries at identical offsets every replay.
+
+Two shapes:
+
+``policy.run(fn)``
+    call ``fn`` up to ``max_attempts`` times, sleeping between
+    attempts, retrying on ``retry_on`` errors and re-raising anything
+    else (or the last error once attempts are exhausted).  Counts
+    ``faults.retried.<name>`` / ``faults.surfaced.<name>`` when the
+    error chain traces back to an injected fault.
+
+``policy.backoff()``
+    a generator of sleep durations for hand-rolled poll loops (the
+    store's lock acquisition keeps its deadline logic but draws its
+    waits from here).
+"""
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from .core import note_retried, note_surfaced
+from .errors import FaultError
+
+
+class RetryPolicy:
+    """Bounded attempts with jittered exponential backoff."""
+
+    def __init__(self,
+                 max_attempts: int = 3,
+                 base_delay_s: float = 0.01,
+                 max_delay_s: float = 0.25,
+                 multiplier: float = 2.0,
+                 jitter_frac: float = 0.25,
+                 retry_on: Tuple[Type[BaseException], ...] = (FaultError, OSError, TimeoutError),
+                 seed: Optional[int] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.multiplier = multiplier
+        self.jitter_frac = jitter_frac
+        self.retry_on = retry_on
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        raw = self.base_delay_s * (self.multiplier ** (attempt - 1))
+        capped = min(raw, self.max_delay_s)
+        if self.jitter_frac <= 0:
+            return capped
+        spread = capped * self.jitter_frac
+        return max(0.0, capped + self._rng.uniform(-spread, spread))
+
+    def backoff(self) -> Iterator[float]:
+        """Endless stream of sleep durations for external poll loops."""
+        attempt = 1
+        while True:
+            yield self.delay(attempt)
+            attempt += 1
+
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable, *args,
+            sleep: Callable[[float], None] = time.sleep, **kwargs):
+        """Call ``fn`` with retries; re-raise the final failure."""
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts:
+                    note_surfaced(exc)
+                    raise
+                note_retried(exc)
+                sleep(self.delay(attempt))
+        raise last  # pragma: no cover -- loop always returns or raises

@@ -49,6 +49,10 @@ DEFAULT_OUTPUT = "BENCH_pipeline.json"
 #: maximum tolerated warm-path slowdown from enabled telemetry probes
 TELEMETRY_OVERHEAD_BUDGET = 0.02
 
+#: maximum tolerated warm-path slowdown from *disabled* failpoints
+#: (the zero-overhead-when-disarmed contract of repro.faults)
+FAILPOINT_OVERHEAD_BUDGET = 0.01
+
 
 def _run_once(
     engine: str,
@@ -178,6 +182,88 @@ def measure_telemetry_overhead(
     }
 
 
+def measure_failpoint_overhead(
+    workload: str = "TRAF",
+    technique: str = "coal",
+    scale: float = 0.1,
+    iterations: Optional[int] = None,
+    config: Optional[GPUConfig] = None,
+    seed: int = 7,
+    repeats: int = 5,
+    runs_per_sample: int = 3,
+) -> Dict:
+    """Warm-path cost of the *disarmed* failpoint checkpoints.
+
+    Same ABBA best-round estimator as
+    :func:`measure_telemetry_overhead`, but the knob is
+    :func:`repro.faults.set_bypass`: bypass swaps the ``faults.failpoint``
+    / ``faults.mangle`` module attributes for bare stubs, i.e. the
+    warm path as if the checkpoints had never been compiled in.  The
+    timed sample goes through a store-backed memo (preload + run +
+    flush) so the store's checkpoint call sites are actually on the
+    measured path, not just the machine loop.
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from .. import faults
+    from .store import ReplayMemoStore, memo_for
+
+    cfg = config or scaled_config()
+    tmpdir = tempfile.mkdtemp(prefix="repro-fpbench-")
+    store = ReplayMemoStore(tmpdir)
+
+    def one_sample() -> float:
+        total = 0.0
+        for _ in range(max(1, runs_per_sample)):
+            machine = Machine(technique, config=cfg)
+            memo = memo_for(store, cfg, scope="fpbench")
+            machine.set_replay_memo(memo)
+            wl = make_workload(workload, machine, scale=scale, seed=seed)
+            wl.setup()
+            wl._setup_done = True
+            machine.reset_run()
+            t0 = time.perf_counter()
+            wl.run(iterations)
+            memo.flush()
+            total += time.perf_counter() - t0
+        return total
+
+    one_sample()  # warm the store bucket: timed runs replay out of it
+    best = {True: float("inf"), False: float("inf")}
+    ratios = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            sums = {True: 0.0, False: 0.0}
+            for bypass in (True, False, False, True):
+                faults.set_bypass(bypass)
+                t = one_sample()
+                sums[bypass] += t
+                best[bypass] = min(best[bypass], t)
+            if sums[True] > 0:
+                ratios.append(sums[False] / sums[True])
+    finally:
+        faults.set_bypass(False)
+        if gc_was_enabled:
+            gc.enable()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    overhead = min(ratios) - 1.0 if ratios else 0.0
+    return {
+        "workload": workload,
+        "technique": technique,
+        "scale": scale,
+        "repeats": repeats,
+        "enabled_s": best[False],
+        "bypassed_s": best[True],
+        "overhead_frac": overhead,
+        "budget_frac": FAILPOINT_OVERHEAD_BUDGET,
+        "ok": overhead < FAILPOINT_OVERHEAD_BUDGET,
+    }
+
+
 def run_selfbench(
     workloads: Optional[Sequence[str]] = None,
     techniques: Sequence[str] = FIGURE6_TECHNIQUES,
@@ -228,6 +314,10 @@ def run_selfbench(
         workload="TRAF" if "TRAF" in names else names[0],
         scale=scale, iterations=iterations, config=cfg, seed=seed,
     )
+    fp_overhead = measure_failpoint_overhead(
+        workload="TRAF" if "TRAF" in names else names[0],
+        scale=scale, iterations=iterations, config=cfg, seed=seed,
+    )
     report = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -243,6 +333,7 @@ def run_selfbench(
         "counters_match": not mismatches,
         "mismatches": mismatches,
         "telemetry_overhead": overhead,
+        "failpoint_overhead": fp_overhead,
     }
     if output:
         with open(output, "w") as f:
@@ -451,5 +542,13 @@ def format_report(report: Dict) -> str:
             f"{oh['technique']}): {oh['overhead_frac']:+.1%} "
             f"(budget {oh['budget_frac']:.0%}) -> "
             + ("ok" if oh["ok"] else "OVER BUDGET")
+        )
+    fp = report.get("failpoint_overhead")
+    if fp:
+        lines.append(
+            f"  disarmed-failpoint overhead (warm path, {fp['workload']}/"
+            f"{fp['technique']}): {fp['overhead_frac']:+.1%} "
+            f"(budget {fp['budget_frac']:.0%}) -> "
+            + ("ok" if fp["ok"] else "OVER BUDGET")
         )
     return "\n".join(lines)

@@ -41,7 +41,7 @@ from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import faults, obs
 from ..gpu.config import scaled_config
 from ..gpu.machine import set_default_replay_memo
 from . import runner
@@ -70,6 +70,13 @@ SHARD_OUTCOMES = ("ok", "retried", "timeout", "fallback")
 
 #: every mode a manifest may carry
 MANIFEST_MODES = ("serial", "parallel", "fallback")
+
+# Failpoints on the shard scheduler's recovery seams (DESIGN.md §5.5).
+# ``kill`` is only offered where it lands in a *worker* process (the
+# coordinator downgrades it to a raise).
+faults.declare("service.shard.spawn", "raise", "delay")
+faults.declare("service.shard.result", "raise", "delay")
+faults.declare("service.shard.body", "kill", "raise", "delay")
 
 
 def validate_manifest(payload) -> None:
@@ -251,8 +258,14 @@ def run_shards(
             error=error,
         )
 
-    def fail(i: int, task: _Running, reason: str, detail: str) -> None:
-        """A worker attempt died: retry once, then run serially."""
+    def fail(i: int, task: _Running, reason: str, detail: str,
+             exc: Optional[BaseException] = None) -> None:
+        """A worker attempt died: retry once, then run serially.
+
+        Either path recovers the shard, so an injected fault behind the
+        failure counts as retried."""
+        if exc is not None:
+            faults.note_retried(exc)
         if task.attempt < max_attempts:
             pending.append((i, task.attempt + 1))
             return
@@ -271,6 +284,7 @@ def run_shards(
         _schedule_shards(
             pending, running, first_start, num_workers, timeout_s,
             ctx, worker, items, run_serial, finish, fail, reap,
+            max_attempts,
         )
     except BaseException:
         # KeyboardInterrupt / SIGTERM-raised SystemExit (or anything
@@ -292,7 +306,7 @@ def run_shards(
 
 def _schedule_shards(pending, running, first_start, num_workers, timeout_s,
                      ctx, worker, items, run_serial, finish, fail,
-                     reap) -> None:
+                     reap, max_attempts=2) -> None:
     """The ``run_shards`` scheduling loop (split out so the interrupt
     path of the caller can clean up ``running`` uniformly)."""
     parallel_ok = True
@@ -302,12 +316,25 @@ def _schedule_shards(pending, running, first_start, num_workers, timeout_s,
             i, attempt = pending.popleft()
             first_start.setdefault(i, time.perf_counter())
             try:
+                faults.failpoint("service.shard.spawn")
                 recv_end, send_end = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_shard_entry, args=(worker, items[i], send_end),
                     daemon=True,
                 )
                 proc.start()
+            except faults.FaultError as exc:
+                # an injected spawn failure is transient: retry the
+                # shard, or recompute serially once attempts run out --
+                # it must not condemn the whole pool
+                faults.note_retried(exc)
+                if attempt < max_attempts:
+                    pending.append((i, attempt + 1))
+                else:
+                    run_serial(i, "fallback", attempt + 1,
+                               started=first_start[i],
+                               error=f"injected spawn fault: {exc!r}")
+                continue
             except Exception as exc:
                 # cannot start workers any more: drain serially
                 parallel_ok = False
@@ -336,8 +363,13 @@ def _schedule_shards(pending, running, first_start, num_workers, timeout_s,
         for i in list(running):
             task = running[i]
             if task.conn.poll(0):
+                fault = None
                 try:
+                    faults.failpoint("service.shard.result")
                     status, payload = task.conn.recv()
+                except faults.FaultError as exc:
+                    fault = exc
+                    status, payload = "err", f"injected result fault: {exc!r}"
                 except (EOFError, OSError) as exc:
                     status, payload = "err", f"lost worker pipe: {exc!r}"
                 reap(i, task)
@@ -346,7 +378,7 @@ def _schedule_shards(pending, running, first_start, num_workers, timeout_s,
                     finish(i, task,
                            "ok" if task.attempt == 1 else "retried", payload)
                 else:
-                    fail(i, task, "error", str(payload))
+                    fail(i, task, "error", str(payload), exc=fault)
                 progressed = True
             elif task.deadline is not None and now > task.deadline:
                 task.proc.terminate()
@@ -396,6 +428,9 @@ def _service_worker(payload: Dict) -> Dict:
     prev_reg = obs.set_registry(reg)
     try:
         with reg.span(f"service.shard.{payload['kind']}"):
+            # kill/raise here lands in the worker process (forked after
+            # arming); the scheduler's crash/err paths recover the shard
+            faults.failpoint("service.shard.body")
             memo = _worker_memo(payload)
             if payload["kind"] == "cell":
                 record = run_one(

@@ -37,15 +37,32 @@ import itertools
 import os
 import pickle
 import tempfile
+import threading
 import time
 import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
-from .. import obs
+from .. import faults, obs
 from ..gpu.config import GPUConfig
 from ..gpu.replay import resolve_engine_name
 from .runner import ReplayMemo
+
+# Failpoints on the store's recovery seams (see DESIGN.md §5.5).  The
+# write side deliberately supports no "corrupt" action: a corrupted
+# *write* would leave a genuinely poisoned end state, while a corrupted
+# *read* exercises the recovery path the store actually has.
+faults.declare("store.lock.acquire", "raise", "delay")
+faults.declare("store.bucket.read", "corrupt", "delay")
+faults.declare("store.bucket.flush", "raise", "delay")
+faults.declare("store.bucket.replace", "raise")
+
+#: retries around one whole lock+read+merge+write attempt; injected
+#: faults and transient IO errors are retried with jittered backoff
+_MERGE_RETRY = faults.RetryPolicy(
+    max_attempts=3, base_delay_s=0.01, max_delay_s=0.2,
+    retry_on=(faults.FaultError, OSError, TimeoutError), seed=0,
+)
 
 #: Bump when the memo entry layout or keying scheme changes; older
 #: bucket files are then ignored (and rewritten) rather than trusted.
@@ -129,6 +146,7 @@ class _FileLock:
         return True
 
     def __enter__(self) -> "_FileLock":
+        faults.failpoint("store.lock.acquire")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         t0 = time.perf_counter()
         try:
@@ -163,8 +181,12 @@ class _FileLock:
                 self._fd = fd
                 obs.add_time("store.lock_wait", time.perf_counter() - t0)
                 return self
-        # portable fallback: spin on exclusive creation
+        # portable fallback: poll exclusive creation with the shared
+        # jittered backoff (replaces the old fixed 10ms spin)
         deadline = time.monotonic() + self.timeout_s
+        waits = faults.RetryPolicy(
+            base_delay_s=0.005, max_delay_s=0.05, seed=os.getpid(),
+        ).backoff()
         while True:
             try:
                 self._fd = os.open(
@@ -180,7 +202,7 @@ class _FileLock:
                     raise TimeoutError(
                         f"could not acquire store lock {self.path}"
                     )
-                time.sleep(0.01)
+                time.sleep(next(waits))
 
     def __exit__(self, *exc) -> None:
         if self._fd is not None:
@@ -198,13 +220,17 @@ class _FileLock:
             self._exclusive_file = False
 
 
-#: bucket paths already warned about this process (one-shot warnings)
+#: bucket paths already warned about this process (one-shot warnings);
+#: guarded by a lock so concurrent readers of the same corrupt bucket
+#: warn exactly once between them
 _WARNED_BUCKETS: set = set()
+_WARNED_LOCK = threading.Lock()
 
 
 def _reset_bucket_warnings() -> None:
     """Re-arm the one-shot corruption warnings (test hook)."""
-    _WARNED_BUCKETS.clear()
+    with _WARNED_LOCK:
+        _WARNED_BUCKETS.clear()
 
 
 class ReplayMemoStore:
@@ -231,11 +257,21 @@ class ReplayMemoStore:
         """
         try:
             with open(path, "rb") as f:
-                payload = pickle.load(f)
+                raw = f.read()
         except FileNotFoundError:
             return {}
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError) as exc:
+        except OSError as exc:
+            self._note_bad_bucket(path, "store.bucket_corrupt",
+                                  f"unreadable ({exc!r})")
+            return {}
+        raw = faults.mangle("store.bucket.read", raw)
+        try:
+            payload = pickle.loads(raw)
+        except faults.FaultError:
+            raise
+        except Exception as exc:
+            # flipped bytes can surface as nearly any exception type
+            # from the unpickler, so any failure here reads as corruption
             self._note_bad_bucket(path, "store.bucket_corrupt",
                                   f"unreadable ({exc!r})")
             return {}
@@ -257,17 +293,20 @@ class ReplayMemoStore:
 
     def _note_bad_bucket(self, path: Path, counter: str, why: str) -> None:
         obs.count(counter)
-        if path not in _WARNED_BUCKETS:
+        with _WARNED_LOCK:
+            if path in _WARNED_BUCKETS:
+                return
             _WARNED_BUCKETS.add(path)
-            warnings.warn(
-                f"replay-store bucket {path.name!r} ignored: {why}; "
-                f"treating as empty and rewriting on next merge",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+        warnings.warn(
+            f"replay-store bucket {path.name!r} ignored: {why}; "
+            f"treating as empty and rewriting on next merge",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _write_payload(self, path: Path,
                        entries: Dict[bytes, object]) -> None:
+        faults.failpoint("store.bucket.flush")
         payload = {
             "schema": _SCHEMA,
             "version": STORE_VERSION,
@@ -281,6 +320,9 @@ class ReplayMemoStore:
         try:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+            # a fault here must leave the bucket untouched AND the tmp
+            # file reaped -- exactly what the except path guarantees
+            faults.failpoint("store.bucket.replace")
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -309,13 +351,17 @@ class ReplayMemoStore:
         if not entries:
             return self.size(bucket)
         path = self.bucket_path(bucket)
-        with obs.span("store.bucket_merge"):
+
+        def attempt() -> int:
             with _FileLock(self._lock_path(bucket)):
                 current = self._read_payload(path)
                 merged = dict(entries)
                 merged.update(current)
                 self._write_payload(path, merged)
                 return len(merged)
+
+        with obs.span("store.bucket_merge"):
+            return _MERGE_RETRY.run(attempt)
 
     def size(self, bucket: str) -> int:
         return len(self.load_bucket(bucket))

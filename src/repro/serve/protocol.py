@@ -21,8 +21,17 @@ import socket
 import struct
 from typing import Any, Dict, Optional
 
+from .. import faults
+
 #: wire schema tag, bumped when the framing or envelope layout changes
 SCHEMA = "repro-serve/1"
+
+# Failpoints on the daemon-side framing (the async entry points only;
+# the blocking client-side helpers stay clean).  ``disconnect`` raises a
+# ConnectionResetError subclass, so an injected drop flows through the
+# server's ordinary connection-teardown path.
+faults.declare("serve.frame.read", "disconnect", "delay")
+faults.declare("serve.frame.write", "disconnect", "delay")
 
 #: default TCP port of ``python -m repro serve``
 DEFAULT_PORT = 7453
@@ -85,6 +94,7 @@ async def read_frame(reader) -> Optional[Dict[str, Any]]:
     """Read one frame from an asyncio stream; None on clean EOF."""
     import asyncio
 
+    faults.failpoint("serve.frame.read")
     try:
         header = await reader.readexactly(_HEADER.size)
     except asyncio.IncompleteReadError:
@@ -99,6 +109,7 @@ async def read_frame(reader) -> Optional[Dict[str, Any]]:
 
 
 async def write_frame(writer, payload: Dict[str, Any]) -> None:
+    faults.failpoint("serve.frame.write")
     writer.write(encode_frame(payload))
     await writer.drain()
 

@@ -34,7 +34,7 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional
 
-from .. import obs
+from .. import faults, obs
 from ..harness.registry import (
     SMOKE_PARAMS,
     ExperimentOptions,
@@ -51,6 +51,12 @@ DEFAULT_DRAIN_GRACE_S = 60.0
 #: default width of the job-offload thread pool (each thread drives one
 #: service run, which itself shards onto worker processes)
 DEFAULT_JOB_THREADS = 2
+
+# Failpoints on the daemon's recovery seams (DESIGN.md §5.5); frame I/O
+# failpoints live in :mod:`repro.serve.protocol`.  ``serve.drain`` is
+# delay-only: a drain must finish, just possibly late.
+faults.declare("serve.admit", "raise", "delay")
+faults.declare("serve.drain", "delay")
 
 
 class ReproServer:
@@ -187,6 +193,7 @@ class ReproServer:
         asyncio.ensure_future(self._drain())
 
     async def _drain(self) -> None:
+        faults.failpoint("serve.drain")
         pending = [job.future for job in self.admission.jobs.values()]
         if pending:
             done, not_done = await asyncio.wait(
@@ -222,8 +229,9 @@ class ReproServer:
                 reply = await self._dispatch(msg)
                 protocol.validate_envelope(reply)
                 await protocol.write_frame(writer, reply)
-        except (ConnectionResetError, BrokenPipeError, TimeoutError):
-            pass
+        except (ConnectionResetError, BrokenPipeError, TimeoutError) as exc:
+            # injected disconnects land here too; the client retries
+            faults.note_surfaced(exc)
         finally:
             self._conn_tasks.discard(task)
             writer.close()
@@ -251,8 +259,9 @@ class ReproServer:
                 "error", "unknown_verb", detail=f"unknown verb {verb!r}")
         try:
             return await handler(msg)
-        except Exception:
+        except Exception as exc:
             obs.count("serve.internal_errors")
+            faults.note_surfaced(exc)
             return protocol.error_reply(verb, "internal_error",
                                         detail=traceback.format_exc())
 
@@ -272,6 +281,9 @@ class ReproServer:
             return protocol.error_reply(
                 "submit", "draining",
                 detail="daemon is draining; not admitting new jobs")
+        # a raise here surfaces as an internal_error reply (and is
+        # counted surfaced by _dispatch); the submitter may retry
+        faults.failpoint("serve.admit")
         params = msg.get("params") or {}
         if not isinstance(params, dict):
             return protocol.error_reply(
@@ -371,7 +383,10 @@ class ReproServer:
         def work():
             try:
                 return True, self._compute(job.spec)
-            except Exception:
+            except Exception as exc:
+                # the failure reaches every waiter as a job_failed
+                # reply; injected faults behind it count as surfaced
+                faults.note_surfaced(exc)
                 return False, traceback.format_exc()
 
         fut = loop.run_in_executor(self._executor, work)

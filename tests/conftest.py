@@ -17,6 +17,32 @@ ALL_TECHNIQUES = (
 FIG6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
 
 
+@pytest.fixture(autouse=True)
+def _isolate_global_state():
+    """Reset cross-test process-global state around every test.
+
+    Tests used to be ordering-sensitive: obs counters, the machine-level
+    default replay memo, the store's warn-once set and any armed fault
+    schedule all leak across tests unless each one remembers to clean
+    up.  This fixture gives every test a fresh obs registry and a clean
+    slate, and restores the previous registry afterwards.
+    """
+    import repro.faults as faults
+    import repro.obs as obs
+    from repro.gpu.machine import set_default_replay_memo
+    from repro.harness.store import _reset_bucket_warnings
+
+    prev_reg = obs.set_registry(obs.Registry())
+    prev_memo = set_default_replay_memo(None)
+    try:
+        yield
+    finally:
+        faults.disarm()
+        _reset_bucket_warnings()
+        set_default_replay_memo(prev_memo)
+        obs.set_registry(prev_reg)
+
+
 @pytest.fixture
 def heap():
     return Heap(capacity=1 << 20)

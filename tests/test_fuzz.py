@@ -1,5 +1,7 @@
 """Tests for (and via) the differential dispatch fuzzer."""
 
+import pytest
+
 from repro.harness.fuzz import (
     FuzzProgram,
     _execute,
@@ -64,3 +66,13 @@ def test_fuzz_report_counts():
                   techniques=("cuda",))
     assert report.programs == 3
     assert report.ok
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(1000, 1016))
+def test_fuzz_fixed_seed_block(seed):
+    """Differential fuzz over a pinned seed block, one seed per test so
+    a regression names the exact failing program.  Nightly CI runs a
+    much larger sweep via ``python -m repro fuzz``."""
+    report = fuzz(num_programs=1, start_seed=seed)
+    assert report.ok, report.divergences

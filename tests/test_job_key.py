@@ -1,0 +1,97 @@
+"""Property tests for the serving daemon's job-key canonicalization.
+
+The dedup/cache key must be a function of the *computation*, not the
+encoding of the request: param insertion order and equal-value
+re-encodings (``2`` vs ``2.0``) map to the same key, while any
+semantically different spec maps to a different one.
+"""
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.jobs import job_key
+
+# JSON-safe scalar params; integral floats are drawn deliberately often
+# so the int/float collapse is exercised, with |value| <= 2**40 where
+# float integrality is exact
+_scalars = st.one_of(
+    st.booleans(),
+    st.none(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40).map(float),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+
+_params = st.dictionaries(st.text(min_size=1, max_size=8), _scalars,
+                          max_size=6)
+
+
+def _spec(params, scale=0.25, seed=7, quick=False, experiment="fig6"):
+    return {"experiment": experiment, "scale": scale, "seed": seed,
+            "quick": quick, "params": params}
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params, order_seed=st.integers())
+def test_param_insertion_order_is_irrelevant(params, order_seed):
+    items = list(params.items())
+    random.Random(order_seed).shuffle(items)
+    assert job_key(_spec(params)) == job_key(_spec(dict(items)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params)
+def test_int_float_reencodings_collapse(params):
+    """``{"n": 2}`` and ``{"n": 2.0}`` are the same computation."""
+    as_float = {
+        k: float(v) if isinstance(v, int) and not isinstance(v, bool)
+        else v
+        for k, v in params.items()
+    }
+    assert job_key(_spec(params)) == job_key(_spec(as_float))
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params, scale=st.sampled_from([0.05, 0.25, 1.0]),
+       seed=st.integers(min_value=0, max_value=100))
+def test_key_is_deterministic(params, scale, seed):
+    spec = _spec(params, scale=scale, seed=seed)
+    assert job_key(spec) == job_key(dict(spec))
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params, extra_value=_scalars)
+def test_added_param_changes_key(params, extra_value):
+    key = "zz-extra"
+    assert key not in params
+    grown = dict(params)
+    grown[key] = extra_value
+    assert job_key(_spec(grown)) != job_key(_spec(params))
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=_params)
+def test_distinct_core_fields_are_distinct(params):
+    base = job_key(_spec(params))
+    assert job_key(_spec(params, scale=0.26)) != base
+    assert job_key(_spec(params, seed=8)) != base
+    assert job_key(_spec(params, quick=True)) != base
+    assert job_key(_spec(params, experiment="tab1")) != base
+
+
+def test_bool_is_not_collapsed_to_int():
+    """True and 1 are different param values (bool is not an int here)."""
+    assert (job_key(_spec({"flag": True}))
+            != job_key(_spec({"flag": 1})))
+
+
+def test_huge_floats_stay_floats():
+    """Above 2**53 float integrality is inexact; no collapse happens."""
+    big = float(2 ** 60)
+    assert (job_key(_spec({"n": big}))
+            != job_key(_spec({"n": 2 ** 60 + 1})))
