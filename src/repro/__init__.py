@@ -28,7 +28,9 @@ from .errors import (
     AllocatorError,
     DispatchError,
     DoubleFree,
+    FrontendError,
     InvalidAddress,
+    LaunchConfigError,
     LaunchError,
     MMUFault,
     OutOfMemory,
@@ -36,6 +38,7 @@ from .errors import (
     TypeSystemError,
     TypeTagOverflow,
 )
+from .frontend import abstract, device_class, kernel, virtual
 from .gpu import (
     FIGURE6_TECHNIQUES,
     TECHNIQUES,
@@ -61,8 +64,14 @@ __all__ = [
     "AllocatorError",
     "DispatchError",
     "DoubleFree",
+    "FrontendError",
     "InvalidAddress",
+    "LaunchConfigError",
     "LaunchError",
+    "abstract",
+    "device_class",
+    "kernel",
+    "virtual",
     "MMUFault",
     "OutOfMemory",
     "ReproError",

@@ -11,6 +11,8 @@ Usage::
     python -m repro profile fig6               # telemetry span/counter tree
     python -m repro all --telemetry out.json   # dump merged obs registry
     python -m repro fuzz 100                   # differential dispatch fuzzing
+    python -m repro fuzz 100 --frontend        # ...through the DSL front-end
+    python -m repro kernel my_kernels.py       # run a user kernel program
     python -m repro selfbench                  # time the replay engines
     python -m repro selfbench service          # serial vs parallel vs warm
     python -m repro serve --port 7453          # experiment-serving daemon
@@ -202,6 +204,12 @@ def main(argv=None) -> int:
                              "'service' for 'selfbench'")
     parser.add_argument("--technique", default="typepointer",
                         help="technique for 'profile' (default typepointer)")
+    parser.add_argument("--techniques", default=None,
+                        help="comma-separated technique subset for "
+                             "'kernel' (default: the Figure 6 five)")
+    parser.add_argument("--frontend", action="store_true",
+                        help="for 'fuzz': lower the generated programs "
+                             "through the device_class/@kernel front-end")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="workload scale factor (default 0.25)")
     parser.add_argument("--workloads", default=None,
@@ -289,12 +297,32 @@ def main(argv=None) -> int:
         from .harness.fuzz import fuzz
 
         n = int(args.target) if args.target and args.target.isdigit() else 50
-        report = fuzz(num_programs=n)
-        print(f"fuzzed {report.programs} programs: "
+        report = fuzz(num_programs=n, frontend=args.frontend)
+        mode = " through the front-end" if args.frontend else ""
+        print(f"fuzzed {report.programs} programs{mode}: "
               f"{'all techniques agree with the oracle' if report.ok else 'DIVERGENCES'}")
         for d in report.divergences:
             print("  " + d)
         return 0 if report.ok else 1
+
+    if args.experiment == "kernel":
+        # user-programmable kernels: run a program file (or the built-in
+        # demo) under several techniques and cross-check the checksums
+        params = {}
+        if args.target:
+            params["path"] = args.target
+        if args.techniques:
+            params["techniques"] = tuple(
+                t for t in args.techniques.split(",") if t)
+        options = ExperimentOptions(
+            scale=args.scale,
+            params={"kernel": {**SMOKE_PARAMS["kernel"], **params}}
+            if args.quick else {"kernel": params},
+        )
+        exp = get_experiment("kernel")
+        result = exp.run(options)
+        print(exp.render(result))
+        return 0 if result.ok else 1
 
     if args.experiment == "profile":
         if args.target in EXPERIMENT_REGISTRY:

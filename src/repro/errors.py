@@ -50,5 +50,21 @@ class LaunchError(ReproError):
     """A kernel launch was misconfigured."""
 
 
+class LaunchConfigError(LaunchError):
+    """Invalid launch geometry: grid/block/thread counts must be
+    positive integers.
+
+    Raised by :meth:`Machine.launch` and the ``@repro.kernel``
+    front-end *before* any execution starts, so a bad configuration
+    fails with an actionable message instead of deep in the executor.
+    """
+
+
+class FrontendError(ReproError):
+    """Misuse of the kernel front-end (``device_class`` / ``@kernel``):
+    unknown field dtype, non-virtual override of a virtual method,
+    unsupported inheritance shape, access to an undeclared field."""
+
+
 class TypeTagOverflow(ReproError):
     """A vTable offset does not fit in TypePointer's 15 tag bits."""

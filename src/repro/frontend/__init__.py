@@ -1,0 +1,33 @@
+"""The user-facing kernel front-end.
+
+``device_class`` + ``@kernel`` let arbitrary user code define class
+hierarchies with virtual methods and launch kernels against them,
+lowered onto the same machinery (TypeDescriptor registration, charged
+field access, strategy-routed vcalls, ``Machine.launch``) the built-in
+workloads use -- there is no separate "internal" path.  See
+DESIGN.md's "Kernel front-end" section and ``examples/user_kernel.py``.
+"""
+from .kernel import KernelFn, kernel
+from .program import (
+    DEMO_SOURCE,
+    ProgramResult,
+    kernel_experiment_run,
+    load_program,
+    run_program,
+)
+from .types import InstanceView, abstract, device_class, is_device_class, virtual
+
+__all__ = [
+    "KernelFn",
+    "kernel",
+    "DEMO_SOURCE",
+    "ProgramResult",
+    "kernel_experiment_run",
+    "load_program",
+    "run_program",
+    "InstanceView",
+    "abstract",
+    "device_class",
+    "is_device_class",
+    "virtual",
+]

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from .. import obs
-from ..errors import LaunchError
+from ..errors import LaunchConfigError, LaunchError
 from ..memory.address_space import strip_tag_array
 from ..memory.heap import SCALAR_TYPES
 from ..runtime.typesystem import TypeDescriptor
@@ -36,6 +36,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
 
 WARP_SIZE = 32
+
+
+def validate_num_threads(num_threads) -> int:
+    """Check a launch's thread count before any execution starts.
+
+    Accepts Python and numpy integers (but not bools); anything else,
+    and any non-positive count, raises :class:`LaunchConfigError` with
+    the offending value in the message.  Returns the count as ``int``.
+    """
+    if isinstance(num_threads, bool) or not isinstance(
+            num_threads, (int, np.integer)):
+        raise LaunchConfigError(
+            f"num_threads must be an integer, got "
+            f"{type(num_threads).__name__} ({num_threads!r})"
+        )
+    if num_threads <= 0:
+        raise LaunchConfigError(
+            f"num_threads must be positive, got {num_threads}"
+        )
+    return int(num_threads)
 
 
 class ExecutionContext:
@@ -326,8 +346,7 @@ def launch(machine: "Machine", kernel, num_threads: int) -> KernelStats:
     cache/DRAM model in the round-robin interleave (or reuses memoized
     counters -- see ``Machine.replay_wave``).
     """
-    if num_threads <= 0:
-        raise LaunchError(f"num_threads must be positive, got {num_threads}")
+    num_threads = validate_num_threads(num_threads)
     reg = obs.registry()
     with reg.span("machine.launch"):
         machine.strategy.prepare_launch()

@@ -13,6 +13,12 @@ A divergence is reported with a replayable recipe (the seed).  Used by
 tests and runnable standalone::
 
     python -m repro.harness.fuzz 200     # 200 random programs
+
+Two execution modes share the oracle: the raw :class:`TypeDescriptor`
+path, and a *front-end* mode (``frontend=True``, CLI ``--frontend``)
+that lowers the same generated program through the public
+``device_class``/``@kernel`` API -- differentially testing the
+front-end's lowering itself against the ground-truth interpreter.
 """
 from __future__ import annotations
 
@@ -106,6 +112,42 @@ def _build_types(prog: FuzzProgram, tag: str):
     return base, leaves
 
 
+def _build_frontend_classes(prog: FuzzProgram, tag: str):
+    """The same generated hierarchy, declared via ``device_class``."""
+    from ..frontend import abstract, device_class, virtual
+
+    Base = device_class(
+        type("FuzzBase", (), {
+            "__annotations__": {"v": "u32", "w": "u32"},
+            "work": abstract(lambda self, ctx: None),
+            "tweak": abstract(lambda self, ctx: None),
+        }),
+        name=f"FuzzBase#{tag}",
+    )
+    leaf_classes = []
+    for k in range(prog.num_leaf_types):
+        mul = np.uint32(prog.multipliers[k])
+        add = np.uint32(prog.adders[k])
+
+        def work(self, ctx, _m=mul, _a=add):
+            v = self.v
+            ctx.alu(2)
+            self.v = v * _m + _a
+
+        def tweak(self, ctx, _a=add):
+            w = self.w
+            v = self.v
+            ctx.alu(1)
+            self.w = w + (v ^ _a)
+
+        leaf_classes.append(device_class(
+            type(f"FuzzLeaf{k}", (Base,),
+                 {"work": virtual(work), "tweak": virtual(tweak)}),
+            name=f"FuzzLeaf{k}#{tag}",
+        ))
+    return Base, leaf_classes
+
+
 def _oracle(prog: FuzzProgram) -> Tuple[Tuple[int, int], ...]:
     """Pure-Python reference execution (no simulator at all)."""
     live: List[Optional[List[int]]] = []   # [leaf_idx, v, w] or None
@@ -130,10 +172,17 @@ def _oracle(prog: FuzzProgram) -> Tuple[Tuple[int, int], ...]:
     )
 
 
-def _execute(prog: FuzzProgram, technique: str) -> Tuple[Tuple[int, int], ...]:
+def _execute(prog: FuzzProgram, technique: str,
+             frontend: bool = False) -> Tuple[Tuple[int, int], ...]:
     """Run the program on the simulator under one technique."""
     m = Machine(technique, config=small_config())
-    base, leaves = _build_types(prog, f"{technique}-{prog.seed}")
+    if frontend:
+        Base, leaf_classes = _build_frontend_classes(
+            prog, f"fe-{technique}-{prog.seed}")
+        base = Base.descriptor()
+        leaves = [c.descriptor() for c in leaf_classes]
+    else:
+        base, leaves = _build_types(prog, f"{technique}-{prog.seed}")
     m.register(*leaves)
     layout = m.registry.layout(base)
     off_v, off_w = layout.offset("v"), layout.offset("w")
@@ -182,27 +231,39 @@ class FuzzReport:
 
 
 def fuzz(num_programs: int = 50, start_seed: int = 0,
-         techniques: Sequence[str] = DEFAULT_TECHNIQUES) -> FuzzReport:
-    """Cross-check ``num_programs`` random programs; returns a report."""
+         techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+         frontend: bool = False) -> FuzzReport:
+    """Cross-check ``num_programs`` random programs; returns a report.
+
+    With ``frontend=True`` the generated hierarchies are lowered through
+    the public ``device_class`` front-end instead of raw descriptors,
+    so divergences implicate the front-end lowering as well.
+    """
     report = FuzzReport(programs=num_programs)
     for seed in range(start_seed, start_seed + num_programs):
         prog = generate_program(seed)
         expected = _oracle(prog)
         for tech in techniques:
-            got = _execute(prog, tech)
+            got = _execute(prog, tech, frontend=frontend)
             if got != expected:
+                mode = "frontend " if frontend else ""
                 report.divergences.append(
-                    f"{tech} diverged on {prog.describe()}: "
+                    f"{tech} {mode}diverged on {prog.describe()}: "
                     f"{got!r} != oracle {expected!r}"
                 )
     return report
 
 
 def main(argv=None) -> int:  # pragma: no cover - thin CLI
-    n = int((argv or sys.argv[1:] or ["50"])[0])
-    report = fuzz(n)
+    argv = list(argv if argv is not None else sys.argv[1:])
+    frontend = "--frontend" in argv
+    if frontend:
+        argv.remove("--frontend")
+    n = int((argv or ["50"])[0])
+    report = fuzz(n, frontend=frontend)
+    mode = " (frontend mode)" if frontend else ""
     print(f"fuzzed {report.programs} programs x {len(DEFAULT_TECHNIQUES)} "
-          f"techniques: "
+          f"techniques{mode}: "
           f"{'all agree with the oracle' if report.ok else 'DIVERGENCES'}")
     for d in report.divergences:
         print("  " + d)

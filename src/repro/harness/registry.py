@@ -205,6 +205,16 @@ def _register_all() -> None:
         ),
     ))
 
+    from ..frontend.program import kernel_experiment_run
+
+    register(Experiment(
+        name="kernel",
+        description="User kernel program (@repro.kernel front-end) "
+                    "cross-checked across techniques",
+        run=kernel_experiment_run,
+        render=lambda r: r.table,
+    ))
+
 
 _register_all()
 
@@ -219,6 +229,7 @@ SMOKE_PARAMS: Dict[str, Dict[str, Any]] = {
     "fig12a": {"object_counts": (2048, 4096), "num_types": 2},
     "fig12b": {"type_counts": (1, 2), "num_objects": 2048},
     "init": {"num_objects": 2000},
+    "kernel": {"techniques": ("cuda", "typepointer"), "config": "small"},
 }
 
 

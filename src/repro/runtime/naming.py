@@ -1,0 +1,37 @@
+"""Deterministic per-run type-name minting.
+
+Workloads and the kernel front-end create fresh :class:`TypeDescriptor`
+hierarchies per instance (method closures, parameterised type counts),
+and each hierarchy needs names that cannot collide inside one
+:class:`~repro.runtime.typesystem.TypeRegistry`.  The old scheme
+(``f"...{id(self):x}"``) was unique but *nondeterministic*: CPython
+reuses addresses, so type names varied between processes and even
+between runs, which breaks anything that keys on them -- persisted
+artefacts, serving-job identities, golden dumps of registry contents.
+
+``mint_tag`` replaces it with a per-prefix counter: the n-th hierarchy
+minted under a prefix is always ``<prefix><n>``, so names are a pure
+function of construction order -- stable across processes for any
+deterministic run.
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+_counters: Dict[str, int] = {}
+
+
+def mint_tag(prefix: str) -> str:
+    """Next deterministic tag under ``prefix``: ``gol0``, ``gol1``, ...
+
+    Tags are unique within a process run and reproducible across runs
+    that construct the same objects in the same order.
+    """
+    n = _counters.get(prefix, 0)
+    _counters[prefix] = n + 1
+    return f"{prefix}{n}"
+
+
+def reset_naming() -> None:
+    """Reset every prefix counter (test isolation)."""
+    _counters.clear()

@@ -169,6 +169,11 @@ def _cmd_submit(argv: List[str]) -> int:
                         help="experiment-specific parameter override "
                              "(repeatable; values parsed as Python "
                              "literals)")
+    parser.add_argument("--program", default=None, metavar="FILE",
+                        help="for the 'kernel' experiment: a user "
+                             "@repro.kernel program file whose source is "
+                             "shipped with the job (the daemon never "
+                             "reads the file, so the job key is stable)")
     parser.add_argument("--scale", type=_positive_float,
                         default=DEFAULT_SCALE,
                         help=f"workload scale (default {DEFAULT_SCALE})")
@@ -181,6 +186,15 @@ def _cmd_submit(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     _check_experiment(args.experiment, parser)
     params = _parse_params(args.param, parser)
+    if args.program is not None:
+        if args.experiment != "kernel":
+            parser.error("--program only applies to the 'kernel' "
+                         "experiment")
+        try:
+            with open(args.program, "r") as f:
+                params["source"] = f.read()
+        except OSError as exc:
+            parser.error(f"cannot read --program file: {exc}")
 
     client = _client_from(args)
     try:

@@ -8,6 +8,13 @@ answers (levels, ranks, rendered pixels...) are bit-reproducible, so
 the paper's functional-validation-across-techniques check is a real
 test here.
 
+Built-in workloads are *clients of the kernel front-end*: their class
+hierarchies are :func:`repro.device_class` declarations and their
+compute kernels are :func:`repro.kernel` functions, launched through
+:meth:`Workload.launch` -- the same public path a user program takes.
+There is no separate internal lowering; a workload is just a user
+kernel with a registry entry and a Table 2 row.
+
 Workloads are scaled down from the paper's ~10^6 objects to ~10^4
 (see DESIGN.md section 2); Table 2's characteristics -- type counts,
 virtual-function counts, vFuncPKI -- are preserved in shape and
@@ -19,6 +26,7 @@ import abc
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..frontend.kernel import KernelFn
 from ..gpu.machine import Machine
 from ..gpu.stats import KernelStats
 
@@ -85,6 +93,23 @@ class Workload(abc.ABC):
         for _ in range(iterations or self.default_iterations):
             self.iterate()
         return self.machine.run_stats
+
+    # ------------------------------------------------------------------
+    def launch(self, kfn: KernelFn, num_threads: int, *args,
+               **kwargs) -> KernelStats:
+        """Launch a front-end kernel on this workload's machine.
+
+        Built-ins route every launch through here so that they exercise
+        the exact ``@kernel`` path user programs use (geometry
+        validation included) -- the type check makes a regression to a
+        raw closure launch fail loudly.
+        """
+        if not isinstance(kfn, KernelFn):
+            raise TypeError(
+                f"workload kernels must be @repro.kernel functions, got "
+                f"{type(kfn).__name__}"
+            )
+        return kfn[num_threads](self.machine, *args, **kwargs)
 
     # ------------------------------------------------------------------
     def num_live_objects(self) -> int:

@@ -12,6 +12,12 @@ old object is destroyed and an object of the new type allocated
 * a host-side *retype phase* frees/reallocates cells whose state
   changed (allocation is excluded from kernel measurements, matching
   the paper's methodology).
+
+The hierarchy and kernels are written against the public front-end:
+:class:`Agent`/:class:`Cell` are :func:`~repro.device_class`
+declarations shared by both automata (concrete state classes live in
+the workload modules), and the two kernels are plain
+:func:`~repro.kernel` functions -- the same API a user program uses.
 """
 from __future__ import annotations
 
@@ -19,9 +25,48 @@ from typing import Dict
 
 import numpy as np
 
+from ..frontend import abstract, device_class, kernel
 from ..memory.address_space import strip_tag_array
 from ..runtime.typesystem import TypeDescriptor
 from .base import Workload
+
+
+@device_class
+class Agent:
+    """Abstract actor: anything on the grid that can be stepped."""
+
+    @abstract
+    def update(self, ctx): ...
+
+
+@device_class
+class Cell(Agent):
+    """One grid cell; its concrete subclass *is* its state."""
+
+    alive: "u32"
+    state: "u32"
+    neighbors: "u32"
+    index: "u32"
+
+
+@kernel
+def count_kernel(ctx, grid, neighbor_idx):
+    """Gather the 8 neighbours' ``alive`` flags into ``neighbors``."""
+    ptrs = grid.ld(ctx, ctx.tid)
+    counts = np.zeros(ctx.lane_count, dtype=np.uint32)
+    for nidx in neighbor_idx:
+        nb_ptrs = grid.ld(ctx, nidx[ctx.tid])
+        alive = Cell.view(ctx, nb_ptrs).alive
+        ctx.alu(1)
+        counts += alive
+    Cell.view(ctx, ptrs).neighbors = counts
+
+
+@kernel
+def update_kernel(ctx, grid):
+    """Virtual-dispatch each cell's transition rule."""
+    ptrs = grid.ld(ctx, ctx.tid)
+    Cell.view(ctx, ptrs).update()
 
 
 class CellularAutomaton(Workload):
@@ -31,16 +76,15 @@ class CellularAutomaton(Workload):
     GRID_H = 128
     default_iterations = 2
 
-    #: state id -> concrete type; built by subclasses in _make_types
+    #: state id -> concrete device class; set by each workload module
+    state_classes: Dict[int, type] = {}
+
+    #: state id -> concrete type descriptor (derived from state_classes)
     state_types: Dict[int, TypeDescriptor]
 
     # ------------------------------------------------------------------
     # subclass interface
     # ------------------------------------------------------------------
-    def _make_types(self) -> None:
-        """Create self.Cell (abstract) and self.state_types."""
-        raise NotImplementedError
-
     def _initial_states(self, rng) -> np.ndarray:
         """Initial per-cell state ids."""
         raise NotImplementedError
@@ -54,7 +98,12 @@ class CellularAutomaton(Workload):
         self.height = max(16, int(self.GRID_H * side_scale))
         self.n_cells = self.width * self.height
 
-        self._make_types()
+        #: the abstract static type kernels dispatch through -- kept as
+        #: a TypeDescriptor attribute for layout-level tests/tools
+        self.Cell = Cell.descriptor()
+        self.state_types = {
+            s: c.descriptor() for s, c in self.state_classes.items()
+        }
         m.register(*self.state_types.values())
 
         states = self._initial_states(rng)
@@ -91,26 +140,9 @@ class CellularAutomaton(Workload):
 
     # ------------------------------------------------------------------
     def iterate(self) -> None:
-        m = self.machine
-        grid, Cell = self.grid, self.Cell
-        neighbor_idx = self._neighbor_idx
-
-        def count_kernel(ctx):
-            ptrs = grid.ld(ctx, ctx.tid)
-            counts = np.zeros(ctx.lane_count, dtype=np.uint32)
-            for nidx in neighbor_idx:
-                nb_ptrs = grid.ld(ctx, nidx[ctx.tid])
-                alive = ctx.load_field(nb_ptrs, Cell, "alive")
-                ctx.alu(1)
-                counts += alive
-            ctx.store_field(ptrs, Cell, "neighbors", counts)
-
-        def update_kernel(ctx):
-            ptrs = grid.ld(ctx, ctx.tid)
-            ctx.vcall(ptrs, Cell, "update")
-
-        m.launch(count_kernel, self.n_cells)
-        m.launch(update_kernel, self.n_cells)
+        self.launch(count_kernel, self.n_cells, self.grid,
+                    self._neighbor_idx)
+        self.launch(update_kernel, self.n_cells, self.grid)
         self._retype_phase()
 
     def _retype_phase(self) -> None:
@@ -140,22 +172,3 @@ class CellularAutomaton(Workload):
         return float(
             (self.states.astype(np.int64) * (np.arange(self.n_cells) % 97 + 1)).sum()
         )
-
-
-def make_cell_base(tag: str) -> TypeDescriptor:
-    """The abstract Agent -> Cell base chain shared by GOL and GEN."""
-    agent = TypeDescriptor(
-        f"Agent#{tag}",
-        methods={"update": None},
-    )
-    cell = TypeDescriptor(
-        f"Cell#{tag}",
-        fields=[
-            ("alive", "u32"),
-            ("state", "u32"),
-            ("neighbors", "u32"),
-            ("index", "u32"),
-        ],
-        base=agent,
-    )
-    return cell

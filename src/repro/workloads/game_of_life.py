@@ -3,17 +3,47 @@
 Two abstract classes (Agent, Cell) and two concrete states (AliveCell,
 DeadCell) -- 4 types as in Table 2.  State transitions retype the cell
 object (free + allocate), exercising the allocators dynamically.
+
+The states are :func:`~repro.device_class` subclasses of the shared
+:class:`~repro.workloads.cellular.Cell`, so GOL is a front-end client
+end to end; the module-level declarations also give the types stable,
+deterministic names (the old per-instance ``id(self)`` tags varied
+between processes).
 """
 from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.typesystem import TypeDescriptor
+from ..frontend import device_class, virtual
 from .base import PaperCharacteristics, register_workload
-from .cellular import CellularAutomaton, make_cell_base
+from .cellular import Cell, CellularAutomaton
 
 STATE_DEAD = 0
 STATE_ALIVE = 1
+
+
+@device_class(name="AliveCell#gol")
+class GolAliveCell(Cell):
+    @virtual
+    def update(self, ctx):
+        n = self.neighbors
+        ctx.alu(3)  # two compares + select
+        survives = (n == 2) | (n == 3)
+        new_state = np.where(survives, STATE_ALIVE, STATE_DEAD)
+        self.state = new_state.astype(np.uint32)
+        self.alive = (new_state == STATE_ALIVE).astype(np.uint32)
+
+
+@device_class(name="DeadCell#gol")
+class GolDeadCell(Cell):
+    @virtual
+    def update(self, ctx):
+        n = self.neighbors
+        ctx.alu(2)  # compare + select
+        born = n == 3
+        new_state = np.where(born, STATE_ALIVE, STATE_DEAD)
+        self.state = new_state.astype(np.uint32)
+        self.alive = (new_state == STATE_ALIVE).astype(np.uint32)
 
 
 @register_workload
@@ -29,37 +59,7 @@ class GameOfLife(CellularAutomaton):
 
     ALIVE_FRACTION = 0.35
 
-    def _make_types(self) -> None:
-        self.Cell = make_cell_base(f"gol{id(self):x}")
-        Cell = self.Cell
-
-        def alive_update(ctx, objs):
-            n = ctx.load_field(objs, Cell, "neighbors")
-            ctx.alu(3)  # two compares + select
-            survives = (n == 2) | (n == 3)
-            new_state = np.where(survives, STATE_ALIVE, STATE_DEAD)
-            ctx.store_field(objs, Cell, "state", new_state.astype(np.uint32))
-            ctx.store_field(objs, Cell, "alive",
-                            (new_state == STATE_ALIVE).astype(np.uint32))
-
-        def dead_update(ctx, objs):
-            n = ctx.load_field(objs, Cell, "neighbors")
-            ctx.alu(2)  # compare + select
-            born = n == 3
-            new_state = np.where(born, STATE_ALIVE, STATE_DEAD)
-            ctx.store_field(objs, Cell, "state", new_state.astype(np.uint32))
-            ctx.store_field(objs, Cell, "alive",
-                            (new_state == STATE_ALIVE).astype(np.uint32))
-
-        AliveCell = TypeDescriptor(
-            f"AliveCell#gol{id(self):x}", base=Cell,
-            methods={"update": alive_update},
-        )
-        DeadCell = TypeDescriptor(
-            f"DeadCell#gol{id(self):x}", base=Cell,
-            methods={"update": dead_update},
-        )
-        self.state_types = {STATE_ALIVE: AliveCell, STATE_DEAD: DeadCell}
+    state_classes = {STATE_ALIVE: GolAliveCell, STATE_DEAD: GolDeadCell}
 
     def _initial_states(self, rng) -> np.ndarray:
         return (rng.random(self.n_cells) < self.ALIVE_FRACTION).astype(np.int64)

@@ -2,19 +2,55 @@
 
 Cells pass through an extra *dying* state (Brian's-Brain-style rules),
 giving "more complicated scenarios" (Table 2): Agent and Cell abstract
-bases plus Alive/Dying/Dead concrete states.
+bases plus Alive/Dying/Dead concrete states, all declared through the
+public :func:`~repro.device_class` front-end.
 """
 from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.typesystem import TypeDescriptor
+from ..frontend import device_class, virtual
 from .base import PaperCharacteristics, register_workload
-from .cellular import CellularAutomaton, make_cell_base
+from .cellular import Cell, CellularAutomaton
 
 STATE_DEAD = 0
 STATE_ALIVE = 1
 STATE_DYING = 2
+
+
+@device_class(name="AliveCell#gen")
+class GenAliveCell(Cell):
+    @virtual
+    def update(self, ctx):
+        # alive cells always decay to dying
+        ctx.alu(1)
+        n = len(self)
+        self.state = np.full(n, STATE_DYING, dtype=np.uint32)
+        self.alive = np.zeros(n, dtype=np.uint32)
+
+
+@device_class(name="DyingCell#gen")
+class GenDyingCell(Cell):
+    @virtual
+    def update(self, ctx):
+        # dying cells always die
+        ctx.alu(1)
+        n = len(self)
+        self.state = np.full(n, STATE_DEAD, dtype=np.uint32)
+        self.alive = np.zeros(n, dtype=np.uint32)
+
+
+@device_class(name="DeadCell#gen")
+class GenDeadCell(Cell):
+    @virtual
+    def update(self, ctx):
+        # dead cells are born when exactly two neighbours are alive
+        neigh = self.neighbors
+        ctx.alu(2)
+        born = neigh == 2
+        new_state = np.where(born, STATE_ALIVE, STATE_DEAD)
+        self.state = new_state.astype(np.uint32)
+        self.alive = (new_state == STATE_ALIVE).astype(np.uint32)
 
 
 @register_workload
@@ -30,50 +66,11 @@ class Generation(CellularAutomaton):
 
     ALIVE_FRACTION = 0.25
 
-    def _make_types(self) -> None:
-        self.Cell = make_cell_base(f"gen{id(self):x}")
-        Cell = self.Cell
-
-        def alive_update(ctx, objs):
-            # alive cells always decay to dying
-            ctx.alu(1)
-            n = len(objs)
-            ctx.store_field(objs, Cell, "state",
-                            np.full(n, STATE_DYING, dtype=np.uint32))
-            ctx.store_field(objs, Cell, "alive", np.zeros(n, dtype=np.uint32))
-
-        def dying_update(ctx, objs):
-            # dying cells always die
-            ctx.alu(1)
-            n = len(objs)
-            ctx.store_field(objs, Cell, "state",
-                            np.full(n, STATE_DEAD, dtype=np.uint32))
-            ctx.store_field(objs, Cell, "alive", np.zeros(n, dtype=np.uint32))
-
-        def dead_update(ctx, objs):
-            # dead cells are born when exactly two neighbours are alive
-            neigh = ctx.load_field(objs, Cell, "neighbors")
-            ctx.alu(2)
-            born = neigh == 2
-            new_state = np.where(born, STATE_ALIVE, STATE_DEAD)
-            ctx.store_field(objs, Cell, "state", new_state.astype(np.uint32))
-            ctx.store_field(objs, Cell, "alive",
-                            (new_state == STATE_ALIVE).astype(np.uint32))
-
-        self.state_types = {
-            STATE_ALIVE: TypeDescriptor(
-                f"AliveCell#gen{id(self):x}", base=Cell,
-                methods={"update": alive_update},
-            ),
-            STATE_DYING: TypeDescriptor(
-                f"DyingCell#gen{id(self):x}", base=Cell,
-                methods={"update": dying_update},
-            ),
-            STATE_DEAD: TypeDescriptor(
-                f"DeadCell#gen{id(self):x}", base=Cell,
-                methods={"update": dead_update},
-            ),
-        }
+    state_classes = {
+        STATE_ALIVE: GenAliveCell,
+        STATE_DYING: GenDyingCell,
+        STATE_DEAD: GenDeadCell,
+    }
 
     def _initial_states(self, rng) -> np.ndarray:
         return np.where(

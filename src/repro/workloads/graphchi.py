@@ -22,6 +22,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..runtime.naming import mint_tag
 from ..runtime.typesystem import TypeDescriptor
 from .base import PaperCharacteristics, Workload, register_workload
 
@@ -199,7 +200,7 @@ class BFSvE(_GraphWorkload):
 
     def _make_types(self) -> None:
         wl = self
-        tag = f"bfsve{id(self):x}"
+        tag = mint_tag("bfsve")
 
         def process(ctx, objs):
             E, V = wl.Edge, wl.Vertex
@@ -250,7 +251,7 @@ class CCvE(_GraphWorkload):
 
     def _make_types(self) -> None:
         wl = self
-        tag = f"ccve{id(self):x}"
+        tag = mint_tag("ccve")
 
         def process(ctx, objs):
             E, V = wl.Edge, wl.Vertex
@@ -300,7 +301,7 @@ class PageRankvE(_GraphWorkload):
 
     def _make_types(self) -> None:
         wl = self
-        tag = f"prve{id(self):x}"
+        tag = mint_tag("prve")
 
         def process(ctx, objs):
             E, V = wl.Edge, wl.Vertex
@@ -375,7 +376,7 @@ class BFSvEN(_GraphWorkloadVEN):
 
     def _make_types(self) -> None:
         wl = self
-        tag = f"bfsven{id(self):x}"
+        tag = mint_tag("bfsven")
 
         def get_value(ctx, objs):
             return ctx.load_field(objs, wl.Vertex, "level")
@@ -449,7 +450,7 @@ class CCvEN(_GraphWorkloadVEN):
 
     def _make_types(self) -> None:
         wl = self
-        tag = f"ccven{id(self):x}"
+        tag = mint_tag("ccven")
 
         def get_value(ctx, objs):
             return ctx.load_field(objs, wl.Vertex, "label")
@@ -516,7 +517,7 @@ class PageRankvEN(_GraphWorkloadVEN):
 
     def _make_types(self) -> None:
         wl = self
-        tag = f"prven{id(self):x}"
+        tag = mint_tag("prven")
 
         def get_value(ctx, objs):
             rank = ctx.load_field(objs, wl.Vertex, "rank")

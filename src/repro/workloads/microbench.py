@@ -14,6 +14,13 @@ Threads scale with objects (one thread per object); the number of
 types accessed *within a warp* is controlled by dealing objects to
 threads round-robin, so ``num_types`` distinct types appear in every
 warp -- the Figure 12b axis.
+
+The hierarchies are built *through the front-end* -- ``type()`` +
+:func:`~repro.device_class` per leaf -- because ``num_types`` is a
+parameter; the per-bench name tags come from the deterministic
+:func:`~repro.runtime.naming.mint_tag` counter (the Figure 12 sweeps
+build many benches per process, and their type names must be stable
+across runs for replay-store keys).
 """
 from __future__ import annotations
 
@@ -21,39 +28,66 @@ from typing import List
 
 import numpy as np
 
+from ..frontend import abstract, device_class, kernel, virtual
 from ..gpu.machine import Machine
 from ..gpu.stats import KernelStats
-from ..runtime.typesystem import TypeDescriptor
+from ..runtime.naming import mint_tag
 
 
-def _make_micro_types(tag: str, num_types: int) -> List[TypeDescriptor]:
-    """An abstract base plus ``num_types`` concrete leaf types.
+def _make_micro_classes(tag: str, num_types: int) -> List[type]:
+    """An abstract base plus ``num_types`` concrete leaf classes.
 
     Every body performs the same payload -- load the object's value,
     add a per-type constant, store it back -- so the *only* difference
     between techniques (and the BRANCH baseline, which runs the same
     payload on a flat array) is the dispatch mechanism itself.
     """
-    base = TypeDescriptor(
-        f"MicroBase#{tag}",
-        fields=[("value", "u32")],
-        methods={"work": None},
+    Base = device_class(
+        type("MicroBase", (), {
+            "__annotations__": {"value": "u32"},
+            "work": abstract(lambda self, ctx: None),
+        }),
+        name=f"MicroBase#{tag}",
     )
 
     leaves = []
     for k in range(num_types):
         increment = np.uint32(k + 1)
 
-        def work(ctx, objs, _inc=increment, _base=base):
+        def work(self, ctx, _inc=increment):
             # "the compute inside the function call is a simple addition"
-            v = ctx.load_field(objs, _base, "value")
+            v = self.value
             ctx.alu(1)
-            ctx.store_field(objs, _base, "value", v + _inc)
+            self.value = v + _inc
 
-        leaves.append(
-            TypeDescriptor(f"MicroType{k}#{tag}", base=base, methods={"work": work})
-        )
-    return [base] + leaves
+        leaves.append(device_class(
+            type(f"MicroType{k}", (Base,), {"work": virtual(work)}),
+            name=f"MicroType{k}#{tag}",
+        ))
+    return [Base] + leaves
+
+
+@kernel
+def work_all(ctx, objects, Base):
+    p = objects.ld(ctx, ctx.tid)
+    Base.view(ctx, p).work()
+
+
+@kernel
+def branch_payload(ctx, data, num_types):
+    # pick the 'type' from a register value: tid % T
+    ctx.alu(1)
+    kinds = ctx.tid % num_types
+    # the SIMT stack executes each taken branch direction once
+    for k in np.unique(kinds):
+        sel = kinds == k
+        sub = ctx.subcontext(sel)
+        sub.alu(1)              # compare
+        sub.ctrl(1)             # branch
+        v = data.ld(sub, sub.tid)
+        sub.alu(1)              # the body: a simple addition
+        data.st(sub, sub.tid, v + np.uint32(int(k) + 1))
+    ctx.ctrl(1)                 # reconvergence
 
 
 class ObjectMicrobench:
@@ -66,8 +100,10 @@ class ObjectMicrobench:
         self.machine = machine
         self.num_objects = num_objects
         self.num_types = num_types
-        types = _make_micro_types(f"{id(self):x}", num_types)
-        self.base, self.leaves = types[0], types[1:]
+        classes = _make_micro_classes(mint_tag("micro"), num_types)
+        self.base_class, self.leaf_classes = classes[0], classes[1:]
+        self.base = self.base_class.descriptor()
+        self.leaves = [c.descriptor() for c in self.leaf_classes]
         machine.register(*self.leaves)
 
         # allocate round-robin over types so each warp sees num_types
@@ -89,16 +125,11 @@ class ObjectMicrobench:
         self.objects = machine.array_from(ptrs, "u64")
 
     def run(self, iterations: int = 1) -> KernelStats:
-        objects, base = self.objects, self.base
         machine = self.machine
         machine.reset_run()
-
-        def kernel(ctx):
-            p = objects.ld(ctx, ctx.tid)
-            ctx.vcall(p, base, "work")
-
         for _ in range(iterations):
-            machine.launch(kernel, self.num_objects)
+            work_all[self.num_objects](machine, self.objects,
+                                       self.base_class)
         return machine.run_stats
 
 
@@ -121,26 +152,9 @@ class BranchMicrobench:
         self.data.write(np.zeros(num_threads, dtype=np.uint32))
 
     def run(self, iterations: int = 1) -> KernelStats:
-        num_types = self.num_types
         machine = self.machine
-        data = self.data
         machine.reset_run()
-
-        def kernel(ctx):
-            # pick the 'type' from a register value: tid % T
-            ctx.alu(1)
-            kinds = ctx.tid % num_types
-            # the SIMT stack executes each taken branch direction once
-            for k in np.unique(kinds):
-                sel = kinds == k
-                sub = ctx.subcontext(sel)
-                sub.alu(1)              # compare
-                sub.ctrl(1)             # branch
-                v = data.ld(sub, sub.tid)
-                sub.alu(1)              # the body: a simple addition
-                data.st(sub, sub.tid, v + np.uint32(int(k) + 1))
-            ctx.ctrl(1)                 # reconvergence
-
         for _ in range(iterations):
-            machine.launch(kernel, self.num_threads)
+            branch_payload[self.num_threads](machine, self.data,
+                                             self.num_types)
         return machine.run_stats

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.naming import mint_tag
 from ..runtime.typesystem import TypeDescriptor
 from .base import PaperCharacteristics, Workload, register_workload
 
@@ -80,7 +81,7 @@ class RayTracer(Workload):
     # ------------------------------------------------------------------
     def _make_types(self) -> None:
         wl = self
-        tag = f"ray{id(self):x}"
+        tag = mint_tag("ray")
 
         def sphere_hit(ctx, objs):
             S = wl.Sphere

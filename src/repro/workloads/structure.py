@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.naming import mint_tag
 from ..runtime.typesystem import TypeDescriptor
 from .base import PaperCharacteristics, Workload, register_workload
 
@@ -98,13 +99,13 @@ class Structure(Workload):
 
     # ------------------------------------------------------------------
     def _make_types(self) -> None:
-        tag = f"{id(self):x}"
+        tag = mint_tag("stut")
         Element = TypeDescriptor(
-            f"Element#stut{tag}",
+            f"Element#{tag}",
             methods={"compute": None, "integrate": None},
         )
         NodeBase = TypeDescriptor(
-            f"NodeBase#stut{tag}",
+            f"NodeBase#{tag}",
             fields=[
                 ("pos_x", "f32"), ("pos_y", "f32"),
                 ("vel_x", "f32"), ("vel_y", "f32"),
@@ -181,7 +182,7 @@ class Structure(Workload):
         self.Element = Element
         self.NodeBase = NodeBase
         self.Spring = TypeDescriptor(
-            f"Spring#stut{tag}",
+            f"Spring#{tag}",
             fields=[
                 ("node_a", "u64"), ("node_b", "u64"),
                 ("rest", "f32"), ("stiffness", "f32"),
@@ -191,11 +192,11 @@ class Structure(Workload):
             methods={"compute": spring_compute, "integrate": spring_integrate},
         )
         self.Node = TypeDescriptor(
-            f"Node#stut{tag}", base=NodeBase,
+            f"Node#{tag}", base=NodeBase,
             methods={"compute": node_compute, "integrate": node_integrate},
         )
         self.AnchorNode = TypeDescriptor(
-            f"AnchorNode#stut{tag}", base=NodeBase,
+            f"AnchorNode#{tag}", base=NodeBase,
             methods={"compute": node_compute, "integrate": anchor_integrate},
         )
 

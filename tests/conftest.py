@@ -31,14 +31,17 @@ def _isolate_global_state():
     import repro.obs as obs
     from repro.gpu.machine import set_default_replay_memo
     from repro.harness.store import _reset_bucket_warnings
+    from repro.runtime.naming import reset_naming
 
     prev_reg = obs.set_registry(obs.Registry())
     prev_memo = set_default_replay_memo(None)
+    reset_naming()
     try:
         yield
     finally:
         faults.disarm()
         _reset_bucket_warnings()
+        reset_naming()
         set_default_replay_memo(prev_memo)
         obs.set_registry(prev_reg)
 

@@ -104,7 +104,8 @@ def test_init_experiment(capsys):
 def test_experiment_registry_complete():
     # every paper table/figure id has a CLI entry
     for required in ("fig1", "table1", "table2", "fig6", "fig7", "fig8",
-                     "fig9", "fig10", "fig11", "fig12a", "fig12b", "init"):
+                     "fig9", "fig10", "fig11", "fig12a", "fig12b", "init",
+                     "kernel"):
         assert required in EXPERIMENTS
 
 

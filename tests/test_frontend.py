@@ -1,0 +1,277 @@
+"""The device_class / @kernel front-end: lowering, misuse, launches."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FrontendError,
+    LaunchConfigError,
+    abstract,
+    device_class,
+    kernel,
+    virtual,
+)
+from repro.errors import LaunchError
+from repro.frontend import is_device_class
+from repro.runtime.typesystem import TypeDescriptor
+
+
+def _shape_hierarchy(tag: str):
+    """A fresh two-level device hierarchy for one test."""
+
+    @device_class(name=f"Shape#{tag}")
+    class Shape:
+        area: "u32"
+
+        @abstract
+        def compute(self, ctx): ...
+
+    @device_class(name=f"Square#{tag}")
+    class Square(Shape):
+        side: "u32"
+
+        @virtual
+        def compute(self, ctx):
+            s = self.side
+            ctx.alu(1)
+            self.area = s * s
+
+    return Shape, Square
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+def test_device_class_lowers_to_type_descriptor():
+    Shape, Square = _shape_hierarchy("lower")
+    assert is_device_class(Shape) and is_device_class(Square)
+    td = Square.descriptor()
+    assert isinstance(td, TypeDescriptor)
+    assert td.base is Shape.descriptor()
+    assert [f.name for f in td.all_fields()] == ["area", "side"]
+    assert list(td.vtable_slots()) == ["compute"]
+    assert Shape.descriptor().is_abstract()
+    assert not td.is_abstract()
+
+
+def test_device_class_name_override_and_default():
+    @device_class
+    class Plain:
+        x: "u32"
+
+    assert Plain.descriptor().name == "Plain"
+    Shape, _ = _shape_hierarchy("named")
+    assert Shape.descriptor().name == "Shape#named"
+
+
+def test_non_class_rejected():
+    with pytest.raises(FrontendError, match="expects a class"):
+        device_class(lambda: None)
+
+
+def test_bad_field_dtype_rejected():
+    with pytest.raises(FrontendError, match="dtype"):
+        @device_class
+        class Bad:
+            x: "complex128"
+
+
+def test_non_scalar_annotation_rejected():
+    with pytest.raises(FrontendError, match="dtype"):
+        @device_class
+        class Bad:
+            x: int
+
+
+def test_plain_base_class_rejected():
+    class NotDevice:
+        pass
+
+    with pytest.raises(FrontendError, match="must itself be a device"):
+        @device_class
+        class Bad(NotDevice):
+            x: "u32"
+
+
+def test_multiple_device_bases_rejected():
+    @device_class
+    class A:
+        x: "u32"
+
+    @device_class
+    class B:
+        y: "u32"
+
+    with pytest.raises(FrontendError, match="multiple inheritance"):
+        @device_class
+        class Bad(A, B):
+            pass
+
+
+def test_non_virtual_override_rejected():
+    Shape, _ = _shape_hierarchy("nonvirt")
+
+    with pytest.raises(FrontendError, match="without @virtual"):
+        @device_class
+        class Bad(Shape):
+            def compute(self, ctx):
+                pass
+
+
+def test_field_method_name_overlap_rejected():
+    with pytest.raises(FrontendError, match="both as field"):
+        @device_class
+        class Bad:
+            work: "u32"
+
+            @virtual
+            def work(self, ctx):  # noqa: F811 - the collision under test
+                pass
+
+
+def test_alloc_of_abstract_class_rejected(machine_factory):
+    Shape, _ = _shape_hierarchy("abs")
+    with pytest.raises(FrontendError, match="abstract"):
+        Shape.alloc(machine_factory(), 4)
+
+
+# ----------------------------------------------------------------------
+# instance views
+# ----------------------------------------------------------------------
+def test_view_unknown_field_read_and_write_rejected(machine_factory):
+    _, Square = _shape_hierarchy("unk")
+    m = machine_factory()
+    m.register(Square.descriptor())
+    ptrs = Square.alloc(m, 8)
+
+    hits = []
+
+    @kernel
+    def probe(ctx, arr):
+        view = Square.view(ctx, arr.ld(ctx, ctx.tid))
+        with pytest.raises(FrontendError, match="no device field"):
+            view.perimeter
+        with pytest.raises(FrontendError, match="not a declared"):
+            view.perimeter = np.uint32(1)
+        hits.append(1)
+
+    probe[8](m, m.array_from(ptrs, "u64"))
+    assert hits  # the kernel body actually ran
+
+
+def test_view_dispatch_and_field_access(machine_factory):
+    _, Square = _shape_hierarchy("disp")
+    m = machine_factory("typepointer")
+    m.register(Square.descriptor())
+    ptrs = Square.alloc(m, 16)
+    Square.write_field(m, ptrs, "side", np.arange(16, dtype=np.uint32))
+    arr = m.array_from(ptrs, "u64")
+
+    @kernel
+    def compute_all(ctx, arr):
+        Square.view(ctx, arr.ld(ctx, ctx.tid)).compute()
+
+    stats = compute_all[16](m, arr)
+    assert stats.vfunc_calls > 0
+    got = Square.read_field(m, ptrs, "area")
+    np.testing.assert_array_equal(
+        got, (np.arange(16, dtype=np.uint32) ** 2))
+
+
+# ----------------------------------------------------------------------
+# kernel geometry / launch validation
+# ----------------------------------------------------------------------
+def test_kernel_zero_threads_rejected():
+    @kernel
+    def k(ctx):
+        pass
+
+    with pytest.raises(LaunchConfigError, match="positive"):
+        k[0]
+    with pytest.raises(LaunchConfigError, match="positive"):
+        k[-3]
+
+
+def test_kernel_non_integer_geometry_rejected():
+    @kernel
+    def k(ctx):
+        pass
+
+    with pytest.raises(LaunchConfigError, match="integer"):
+        k[2.5]
+    with pytest.raises(LaunchConfigError, match="integer"):
+        k[True]
+    with pytest.raises(LaunchConfigError, match="grid"):
+        k["many", 32]
+
+
+def test_kernel_bad_tuple_geometry_rejected():
+    @kernel
+    def k(ctx):
+        pass
+
+    with pytest.raises(LaunchConfigError, match="dimensions"):
+        k[1, 2, 3]
+
+
+def test_kernel_grid_block_multiplies(machine_factory):
+    seen = []
+
+    @kernel
+    def k(ctx):
+        seen.append(ctx.lane_count)
+
+    k[2, 32](machine_factory())
+    assert sum(seen) == 64
+
+
+def test_kernel_decoration_time_geometry(machine_factory):
+    ran = []
+
+    @kernel(grid=1, block=32)
+    def k(ctx):
+        ran.append(ctx.lane_count)
+
+    k(machine_factory())
+    assert sum(ran) == 32
+
+
+def test_kernel_call_without_geometry_rejected(machine_factory):
+    @kernel
+    def k(ctx):
+        pass
+
+    with pytest.raises(LaunchConfigError, match="no geometry"):
+        k(machine_factory())
+
+
+def test_kernel_decorator_positional_misuse_rejected():
+    with pytest.raises(LaunchConfigError, match="no positional"):
+        kernel(32)
+
+
+def test_machine_launch_validates_thread_count(machine_factory):
+    m = machine_factory()
+    for bad in (0, -1, 2.5, "12", None, False):
+        with pytest.raises(LaunchConfigError):
+            m.launch(lambda ctx: None, bad)
+    # the typed error still satisfies pre-existing LaunchError handlers
+    assert issubclass(LaunchConfigError, LaunchError)
+
+
+def test_kernel_stats_returned_per_launch(machine_factory):
+    m = machine_factory()
+    data = m.array("u32", 64)
+    data.write(np.zeros(64, dtype=np.uint32))
+
+    @kernel
+    def bump(ctx, data):
+        v = data.ld(ctx, ctx.tid)
+        ctx.alu(1)
+        data.st(ctx, ctx.tid, v + np.uint32(1))
+
+    stats = bump.launch(m, 64, data)
+    assert stats.thread_instrs > 0 and stats.cycles > 0
+    np.testing.assert_array_equal(data.read(),
+                                  np.ones(64, dtype=np.uint32))

@@ -1,0 +1,199 @@
+"""Differential test: front-end GOL is bit-identical to the raw path.
+
+``RawGol`` below is a frozen copy of the *pre-front-end* Game of Life:
+hand-built :class:`TypeDescriptor` hierarchies, closure kernels with
+explicit ``load_field``/``store_field``/``vcall`` charges, launched
+straight through ``Machine.launch``.  The refactored workload in
+:mod:`repro.workloads.game_of_life` declares the same hierarchy through
+``device_class`` and launches through ``@kernel`` -- and must produce
+the *same checksum and the same KernelStats, field for field*, under
+every Figure 6 technique.  Any charge the front-end adds, drops or
+reorders shows up here as a stats mismatch.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import FIG6_TECHNIQUES
+from repro import Machine, TypeDescriptor
+from repro.gpu.config import small_config
+from repro.memory.address_space import strip_tag_array
+from repro.workloads import make_workload
+
+SCALE = 0.04
+SEED = 11
+ITERATIONS = 2
+
+
+class RawGol:
+    """Pre-refactor GOL, kept verbatim as the bit-identity reference."""
+
+    GRID_W = 128
+    GRID_H = 128
+    ALIVE_FRACTION = 0.35
+
+    def __init__(self, machine: Machine, scale: float = SCALE,
+                 seed: int = SEED):
+        self.machine = machine
+        self.scale = scale
+        self.seed = seed
+
+        tag = "rawgol"
+        agent = TypeDescriptor(f"Agent#{tag}", methods={"update": None})
+        cell = TypeDescriptor(
+            f"Cell#{tag}", base=agent,
+            fields=[("alive", "u32"), ("state", "u32"),
+                    ("neighbors", "u32"), ("index", "u32")],
+        )
+
+        def alive_update(ctx, objs):
+            n = ctx.load_field(objs, cell, "neighbors")
+            ctx.alu(3)  # two compares + select
+            survives = (n == 2) | (n == 3)
+            new_state = np.where(survives, 1, 0)
+            ctx.store_field(objs, cell, "state",
+                            new_state.astype(np.uint32))
+            ctx.store_field(objs, cell, "alive",
+                            (new_state == 1).astype(np.uint32))
+
+        def dead_update(ctx, objs):
+            n = ctx.load_field(objs, cell, "neighbors")
+            ctx.alu(2)  # compare + select
+            born = n == 3
+            new_state = np.where(born, 1, 0)
+            ctx.store_field(objs, cell, "state",
+                            new_state.astype(np.uint32))
+            ctx.store_field(objs, cell, "alive",
+                            (new_state == 1).astype(np.uint32))
+
+        self.Cell = cell
+        self.state_types = {
+            1: TypeDescriptor(f"AliveCell#{tag}", base=cell,
+                              methods={"update": alive_update}),
+            0: TypeDescriptor(f"DeadCell#{tag}", base=cell,
+                              methods={"update": dead_update}),
+        }
+
+    # -- setup: identical construction order to CellularAutomaton ------
+    def setup(self) -> None:
+        m = self.machine
+        rng = np.random.default_rng(self.seed)
+        side_scale = max(0.1, self.scale) ** 0.5
+        self.width = max(16, int(self.GRID_W * side_scale))
+        self.height = max(16, int(self.GRID_H * side_scale))
+        self.n_cells = self.width * self.height
+
+        m.register(*self.state_types.values())
+        states = (rng.random(self.n_cells) < self.ALIVE_FRACTION
+                  ).astype(np.int64)
+        self.states = states
+        ptrs = np.empty(self.n_cells, dtype=np.uint64)
+        for i in range(self.n_cells):
+            ptrs[i] = self._construct_cell(i, int(states[i]))
+        self.cell_ptrs = ptrs
+        self.grid = m.array_from(ptrs, "u64")
+
+        idx = np.arange(self.n_cells)
+        x = idx % self.width
+        y = idx // self.width
+        self._neighbor_idx = []
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                nx = (x + dx) % self.width
+                ny = (y + dy) % self.height
+                self._neighbor_idx.append(
+                    (ny * self.width + nx).astype(np.int64))
+
+    def _construct_cell(self, index: int, state: int) -> int:
+        m = self.machine
+        tdesc = self.state_types[state]
+        ptr = m.new_objects(tdesc, 1)[0]
+        c = m.allocator._canonical(int(ptr))
+        lay = m.registry.layout(tdesc)
+        m.heap.store(c + lay.offset("alive"), "u32",
+                     1 if state == 1 else 0)
+        m.heap.store(c + lay.offset("state"), "u32", state)
+        m.heap.store(c + lay.offset("index"), "u32", index)
+        return int(ptr)
+
+    # -- compute: raw closure kernels through Machine.launch -----------
+    def iterate(self) -> None:
+        m = self.machine
+        grid, neighbor_idx, cell = self.grid, self._neighbor_idx, self.Cell
+
+        def count_kernel(ctx):
+            ptrs = grid.ld(ctx, ctx.tid)
+            counts = np.zeros(ctx.lane_count, dtype=np.uint32)
+            for nidx in neighbor_idx:
+                nb_ptrs = grid.ld(ctx, nidx[ctx.tid])
+                alive = ctx.load_field(nb_ptrs, cell, "alive")
+                ctx.alu(1)
+                counts += alive
+            ctx.store_field(ptrs, cell, "neighbors", counts)
+
+        def update_kernel(ctx):
+            ptrs = grid.ld(ctx, ctx.tid)
+            ctx.vcall(ptrs, cell, "update")
+
+        m.launch(count_kernel, self.n_cells, label="count_kernel")
+        m.launch(update_kernel, self.n_cells, label="update_kernel")
+        self._retype_phase()
+
+    def _retype_phase(self) -> None:
+        m = self.machine
+        lay = m.registry.layout(self.Cell)
+        off_state = lay.offset("state")
+        canon = strip_tag_array(self.cell_ptrs)
+        new_states = m.heap.gather(canon + np.uint64(off_state), "u32")
+        changed_idx = np.flatnonzero(new_states != self.states)
+        for i in changed_idx.tolist():
+            new_state = int(new_states[i])
+            m.free_objects([int(self.cell_ptrs[i])])
+            new_ptr = self._construct_cell(i, new_state)
+            self.cell_ptrs[i] = new_ptr
+            self.grid[i] = new_ptr
+            self.states[i] = new_state
+
+    def run(self, iterations: int = ITERATIONS):
+        self.setup()
+        self.machine.reset_run()
+        for _ in range(iterations):
+            self.iterate()
+        return self.machine.run_stats
+
+    def checksum(self) -> float:
+        return float(
+            (self.states.astype(np.int64)
+             * (np.arange(self.n_cells) % 97 + 1)).sum()
+        )
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("technique", FIG6_TECHNIQUES)
+def test_frontend_gol_bit_identical_to_raw_reference(technique):
+    ref_machine = Machine(technique, config=small_config())
+    ref = RawGol(ref_machine)
+    ref_stats = ref.run(ITERATIONS)
+
+    dsl_machine = Machine(technique, config=small_config())
+    wl = make_workload("GOL", dsl_machine, scale=SCALE, seed=SEED)
+    dsl_stats = wl.run(ITERATIONS)
+
+    assert wl.checksum() == ref.checksum()
+    # KernelStats is a dataclass: == compares every counter and every
+    # cycle figure, so any extra/missing/reordered charge fails here
+    assert dsl_stats == ref_stats
+
+
+def test_frontend_gol_matches_numpy_reference():
+    m = Machine("cuda", config=small_config())
+    wl = make_workload("GOL", m, scale=SCALE, seed=SEED)
+    wl.run(1)
+    expected = wl.reference_step(
+        np.asarray(
+            (np.random.default_rng(SEED).random(wl.n_cells)
+             < wl.ALIVE_FRACTION), dtype=np.int64))
+    np.testing.assert_array_equal(wl.states, expected)

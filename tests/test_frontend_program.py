@@ -1,0 +1,222 @@
+"""User kernel programs: loading, cross-technique runs, serve glue."""
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import pytest
+
+from repro import FrontendError
+from repro.__main__ import main
+from repro.frontend import DEMO_SOURCE, load_program, run_program
+from repro.frontend.program import ProgramResult
+from repro.harness.registry import ExperimentOptions, run_experiment
+from repro.serve.jobs import job_key
+
+#: a minimal but non-trivial program used by the file-based tests
+TINY_SOURCE = """\
+import numpy as np
+from repro import device_class, kernel, virtual, abstract
+
+
+@device_class
+class Box:
+    weight: "u32"
+
+    @abstract
+    def tare(self, ctx): ...
+
+
+@device_class
+class Heavy(Box):
+    @virtual
+    def tare(self, ctx):
+        w = self.weight
+        ctx.alu(1)
+        self.weight = w + np.uint32(7)
+
+
+@kernel
+def tare_all(ctx, boxes):
+    Box.view(ctx, boxes.ld(ctx, ctx.tid)).tare()
+
+
+def run(machine):
+    n = 64
+    ptrs = Heavy.alloc(machine, n)
+    boxes = machine.array_from(ptrs, "u64")
+    tare_all[n](machine, boxes)
+    return float(Box.read_field(machine, ptrs, "weight").sum())
+"""
+
+
+# ----------------------------------------------------------------------
+# load_program
+# ----------------------------------------------------------------------
+def test_load_program_needs_exactly_one_input(tmp_path):
+    with pytest.raises(FrontendError, match="exactly one"):
+        load_program()
+    with pytest.raises(FrontendError, match="exactly one"):
+        load_program(source="run = None", path=str(tmp_path / "x.py"))
+
+
+def test_load_program_missing_file():
+    with pytest.raises(FrontendError, match="cannot read"):
+        load_program(path="/nonexistent/kernels.py")
+
+
+def test_load_program_syntax_error_fails_before_any_machine():
+    with pytest.raises(FrontendError, match="failed to load"):
+        load_program(source="def run(machine:\n")
+
+
+def test_load_program_import_time_error_is_wrapped():
+    with pytest.raises(FrontendError, match="ZeroDivisionError"):
+        load_program(source="x = 1 / 0\ndef run(machine): return 0\n")
+
+
+def test_load_program_requires_run_entry():
+    with pytest.raises(FrontendError, match="must define run"):
+        load_program(source="x = 3\n")
+    with pytest.raises(FrontendError, match="must define run"):
+        load_program(source="run = 42\n")
+
+
+def test_load_program_from_file(tmp_path):
+    path = tmp_path / "tiny.py"
+    path.write_text(TINY_SOURCE)
+    entry = load_program(path=str(path))
+    assert callable(entry)
+
+
+# ----------------------------------------------------------------------
+# run_program
+# ----------------------------------------------------------------------
+def test_demo_program_agrees_across_techniques():
+    entry = load_program(source=DEMO_SOURCE)
+    result = run_program(entry, techniques=("cuda", "typepointer"))
+    assert result.ok
+    assert result.checksums["cuda"] == result.checksums["typepointer"]
+    assert result.checksums["cuda"] == 4096.0
+    # per-technique stats really come from independent machines
+    assert result.stats["cuda"].global_load_transactions > \
+        result.stats["typepointer"].global_load_transactions
+    assert "all techniques agree" in result.table
+
+
+def test_program_result_flags_divergence():
+    r = ProgramResult(techniques=("a", "b"),
+                      checksums={"a": 1.0, "b": 2.0})
+    assert not r.ok
+    r2 = ProgramResult(techniques=())
+    assert not r2.ok            # vacuous agreement is not agreement
+
+
+def test_tiny_program_checksum():
+    entry = load_program(source=TINY_SOURCE)
+    result = run_program(entry, techniques=("cuda",))
+    assert result.checksums["cuda"] == 64 * 7.0
+
+
+# ----------------------------------------------------------------------
+# registry + CLI
+# ----------------------------------------------------------------------
+def test_kernel_experiment_runs_program_from_path(tmp_path):
+    path = tmp_path / "prog.py"
+    path.write_text(TINY_SOURCE)
+    result = run_experiment("kernel", ExperimentOptions(params={
+        "kernel": {"path": str(path), "techniques": ("cuda", "coal"),
+                   "config": "small"},
+    }))
+    assert result.ok
+    assert result.techniques == ("cuda", "coal")
+    assert result.checksums["coal"] == 64 * 7.0
+
+
+def test_cli_kernel_command(tmp_path, capsys):
+    path = tmp_path / "prog.py"
+    path.write_text(TINY_SOURCE)
+    assert main(["kernel", str(path), "--techniques",
+                 "cuda,typepointer"]) == 0
+    out = capsys.readouterr().out
+    assert "all techniques agree" in out
+    assert "typepointer" in out
+
+
+def test_cli_kernel_demo_quick(capsys):
+    assert main(["kernel", "--quick"]) == 0
+    assert "all techniques agree" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# serve: stable job keys, --program plumbing, end-to-end
+# ----------------------------------------------------------------------
+def _kernel_spec(source):
+    return {"experiment": "kernel", "scale": 0.05, "seed": 7,
+            "quick": True, "params": {"source": source}}
+
+
+def test_kernel_job_key_is_stable_over_source():
+    assert job_key(_kernel_spec(TINY_SOURCE)) == \
+        job_key(_kernel_spec(TINY_SOURCE))
+    assert job_key(_kernel_spec(TINY_SOURCE)) != \
+        job_key(_kernel_spec(DEMO_SOURCE))
+
+
+def test_submit_program_flag_requires_kernel_experiment(tmp_path):
+    path = tmp_path / "prog.py"
+    path.write_text(TINY_SOURCE)
+    with pytest.raises(SystemExit):
+        main(["submit", "fig6", "--program", str(path)])
+    with pytest.raises(SystemExit):
+        main(["submit", "kernel", "--program",
+              str(tmp_path / "missing.py")])
+
+
+def test_submit_program_ships_source_in_params(tmp_path):
+    from test_serve import serving
+
+    path = tmp_path / "prog.py"
+    path.write_text(TINY_SOURCE)
+    specs = []
+
+    def compute(spec):
+        specs.append(spec)
+        return {"rendered": "ok"}
+
+    with serving(tmp_path, compute) as (server, client, _):
+        rc = main(["submit", "kernel", "--program", str(path),
+                   "--socket", server.socket_path, "--quick"])
+    assert rc == 0
+    assert len(specs) == 1
+    assert specs[0]["experiment"] == "kernel"
+    assert specs[0]["params"]["source"] == TINY_SOURCE
+
+
+def test_serve_runs_kernel_job_end_to_end(tmp_path):
+    """A user program travels through the daemon's real compute path."""
+    with serving_real(tmp_path) as (server, client):
+        reply = client.submit("kernel", quick=True, scale=0.05,
+                              params={"source": TINY_SOURCE,
+                                      "techniques": ("cuda",)})
+    assert reply["ok"] is True, reply
+    assert "all techniques agree" in reply["rendered"]
+    assert "448.000" in reply["rendered"]     # 64 boxes tared by 7
+
+
+@contextlib.contextmanager
+def serving_real(tmp_path):
+    """The in-process daemon with its *real* service-backed compute."""
+    from repro.serve import ReproServer, ServeClient
+
+    sock = str(tmp_path / "serve.sock")
+    server = ReproServer(socket_path=sock, workers=1, use_store=False)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.ready.wait(10), "daemon never started listening"
+    try:
+        yield server, ServeClient(socket_path=sock)
+    finally:
+        server.request_shutdown()
+        thread.join(60)
+        assert not thread.is_alive(), "daemon failed to drain"

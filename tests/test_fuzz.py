@@ -76,3 +76,25 @@ def test_fuzz_fixed_seed_block(seed):
     much larger sweep via ``python -m repro fuzz``."""
     report = fuzz(num_programs=1, start_seed=seed)
     assert report.ok, report.divergences
+
+
+def test_frontend_execute_matches_oracle_on_known_program():
+    prog = FuzzProgram(
+        seed=1, num_leaf_types=3, multipliers=[1, 2, 3], adders=[4, 0, 7],
+        ops=[("alloc", 0), ("alloc", 1), ("alloc", 2), ("call", "work"),
+             ("free", 1), ("call", "tweak"), ("alloc", 1),
+             ("call", "work")],
+    )
+    expected = _oracle(prog)
+    for tech in ("cuda", "coal", "typepointer"):
+        assert _execute(prog, tech, frontend=True) == expected, tech
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(2000, 2008))
+def test_fuzz_frontend_fixed_seed_block(seed):
+    """The same pinned-seed discipline for the device_class/@kernel
+    lowering: every generated program, declared through the public
+    front-end, must agree with the oracle under every technique."""
+    report = fuzz(num_programs=1, start_seed=seed, frontend=True)
+    assert report.ok, report.divergences

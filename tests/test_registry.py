@@ -18,9 +18,11 @@ from repro.harness.registry import (
     smoke_options,
 )
 
-#: every paper artifact the suite reproduces, in presentation order
+#: every paper artifact the suite reproduces, in presentation order,
+#: plus the user-kernel cross-check experiment
 PAPER_ARTIFACTS = ("fig1", "table1", "table2", "fig6", "fig7", "fig8",
-                   "fig9", "fig10", "fig11", "fig12a", "fig12b", "init")
+                   "fig9", "fig10", "fig11", "fig12a", "fig12b", "init",
+                   "kernel")
 
 #: options that finish the whole registry in seconds
 QUICK = smoke_options(scale=0.04, workloads=("TRAF",))
