@@ -37,7 +37,9 @@ from .errors import (
     ReproError,
     TypeSystemError,
     TypeTagOverflow,
+    UnknownTechniqueError,
 )
+from . import techniques
 from .frontend import abstract, device_class, kernel, virtual
 from .gpu import (
     FIGURE6_TECHNIQUES,
@@ -54,6 +56,7 @@ from .memory import (
     MMU,
     MMUMode,
     SharedOAAllocator,
+    SoaAllocator,
     TypePointerAllocator,
 )
 from .runtime import DeviceArray, ObjectProxy, SharedObjectSpace, TypeDescriptor, proxies
@@ -77,6 +80,8 @@ __all__ = [
     "ReproError",
     "TypeSystemError",
     "TypeTagOverflow",
+    "UnknownTechniqueError",
+    "techniques",
     "FIGURE6_TECHNIQUES",
     "TECHNIQUES",
     "GPUConfig",
@@ -89,6 +94,7 @@ __all__ = [
     "MMU",
     "MMUMode",
     "SharedOAAllocator",
+    "SoaAllocator",
     "TypePointerAllocator",
     "DeviceArray",
     "ObjectProxy",

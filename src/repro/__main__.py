@@ -35,8 +35,11 @@ import sys
 import time
 
 from .core.instrumentation import disassemble
+from .errors import UnknownTechniqueError
 from .gpu.config import scaled_config
-from .gpu.machine import Machine, TECHNIQUES
+from .gpu.machine import Machine
+from .techniques import available as technique_names
+from .techniques import resolve as resolve_technique
 from .harness.registry import (
     EXPERIMENT_REGISTRY,
     ExperimentOptions,
@@ -199,14 +202,15 @@ def main(argv=None) -> int:
                         help="experiment id (see 'list'), 'all', 'list', "
                              "'disasm' or 'profile'")
     parser.add_argument("target", nargs="?", default=None,
-                        help="technique for 'disasm'; workload for "
-                             f"'profile' (techniques: {', '.join(TECHNIQUES)}); "
+                        help="technique for 'disasm'; workload for 'profile' "
+                             f"(techniques: {', '.join(technique_names())}); "
                              "'service' for 'selfbench'")
     parser.add_argument("--technique", default="typepointer",
                         help="technique for 'profile' (default typepointer)")
     parser.add_argument("--techniques", default=None,
-                        help="comma-separated technique subset for "
-                             "'kernel' (default: the Figure 6 five)")
+                        help="comma-separated technique subset for 'kernel' "
+                             "and 'fuzz' (default: the registry's figure "
+                             "set / fuzz set)")
     parser.add_argument("--frontend", action="store_true",
                         help="for 'fuzz': lower the generated programs "
                              "through the device_class/@kernel front-end")
@@ -245,6 +249,14 @@ def main(argv=None) -> int:
                         help="timing repeats per cell for 'selfbench' "
                              "(fastest kept; default 1)")
     args = parser.parse_args(argv)
+
+    def _validated_techniques(csv: str) -> tuple:
+        """Resolve a comma-separated technique list or exit 2 with hints."""
+        names = tuple(t for t in csv.split(",") if t)
+        try:
+            return tuple(resolve_technique(t).name for t in names)
+        except UnknownTechniqueError as exc:
+            parser.error(str(exc))
 
     if args.experiment == "list":
         for name in experiment_names():
@@ -287,7 +299,13 @@ def main(argv=None) -> int:
         return 0 if ok else 1
 
     if args.experiment == "disasm":
-        technique = args.target or "typepointer"
+        target = args.target or "typepointer"
+        technique = target
+        if target != "tp_on_cuda_baseline":   # disasm-only pseudo-target
+            try:
+                technique = resolve_technique(target).name
+            except UnknownTechniqueError as exc:
+                parser.error(str(exc))
         print(f"; virtual call lowering under {technique!r}")
         for line in disassemble(technique):
             print("  " + line)
@@ -296,8 +314,11 @@ def main(argv=None) -> int:
     if args.experiment == "fuzz":
         from .harness.fuzz import fuzz
 
+        techniques = (_validated_techniques(args.techniques)
+                      if args.techniques else None)
         n = int(args.target) if args.target and args.target.isdigit() else 50
-        report = fuzz(num_programs=n, frontend=args.frontend)
+        report = fuzz(num_programs=n, techniques=techniques,
+                      frontend=args.frontend)
         mode = " through the front-end" if args.frontend else ""
         print(f"fuzzed {report.programs} programs{mode}: "
               f"{'all techniques agree with the oracle' if report.ok else 'DIVERGENCES'}")
@@ -312,8 +333,7 @@ def main(argv=None) -> int:
         if args.target:
             params["path"] = args.target
         if args.techniques:
-            params["techniques"] = tuple(
-                t for t in args.techniques.split(",") if t)
+            params["techniques"] = _validated_techniques(args.techniques)
         options = ExperimentOptions(
             scale=args.scale,
             params={"kernel": {**SMOKE_PARAMS["kernel"], **params}}
@@ -346,11 +366,15 @@ def main(argv=None) -> int:
         from .harness.profile_report import profile_report
         from .workloads import make_workload
 
-        m = Machine(args.technique, config=scaled_config())
+        try:
+            technique = resolve_technique(args.technique).name
+        except UnknownTechniqueError as exc:
+            parser.error(str(exc))
+        m = Machine(technique, config=scaled_config())
         wl = make_workload(args.target or "TRAF", m, scale=args.scale)
         wl.run()
         print(profile_report(
-            m, title=f"profile: {args.target} under {args.technique}"
+            m, title=f"profile: {args.target} under {technique}"
         ))
         return 0
 

@@ -104,7 +104,9 @@ def disassemble(technique: str, slot: int = 0, num_types: int = 4,
     ``site`` lets COAL apply its heuristic: a uniform site lowers to
     the plain CUDA sequence.
     """
-    if technique in ("cuda", "sharedoa", "tp_on_cuda_baseline"):
+    # soa reuses the embedded-vTable lowering: the header stays
+    # contiguous at the object pointer, only member accesses transpose
+    if technique in ("cuda", "sharedoa", "soa", "tp_on_cuda_baseline"):
         return _cuda_sequence(slot)
     if technique == "concord":
         return _concord_sequence(slot, num_types)

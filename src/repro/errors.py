@@ -50,6 +50,26 @@ class LaunchError(ReproError):
     """A kernel launch was misconfigured."""
 
 
+class UnknownTechniqueError(LaunchError):
+    """A technique name did not resolve in :mod:`repro.techniques`.
+
+    Carries the failing ``technique``, the ``known`` canonical names and
+    did-you-mean ``hints`` so CLIs can render the same UX as unknown
+    experiment ids (exit 2 plus a suggestion).
+    """
+
+    def __init__(self, technique: str, known=(), hints=()):
+        self.technique = technique
+        self.known = tuple(known)
+        self.hints = tuple(hints)
+        msg = f"unknown technique {technique!r}"
+        if self.known:
+            msg += f"; known techniques: {', '.join(self.known)}"
+        if self.hints:
+            msg += f" (did you mean: {', '.join(self.hints)}?)"
+        super().__init__(msg)
+
+
 class LaunchConfigError(LaunchError):
     """Invalid launch geometry: grid/block/thread counts must be
     positive integers.

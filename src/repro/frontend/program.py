@@ -25,8 +25,9 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..errors import FrontendError
 from ..gpu.config import GPUConfig, small_config
-from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
+from ..gpu.machine import Machine
 from ..gpu.stats import KernelStats
+from ..techniques import figure_techniques, resolve as resolve_technique
 
 #: the quickstart program: what ``python -m repro kernel`` runs when
 #: no file is given, and the serve demo submission.
@@ -153,11 +154,15 @@ class ProgramResult:
 
 def run_program(
     entry: Callable[[Machine], Any],
-    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    techniques: Optional[Sequence[str]] = None,
     config: Optional[GPUConfig] = None,
 ) -> ProgramResult:
     """Run a loaded program under each technique on a fresh machine."""
-    result = ProgramResult(techniques=tuple(techniques))
+    if techniques is None:
+        techniques = figure_techniques()
+    # fail on unknown names (with hints) before any machine is built
+    techniques = tuple(resolve_technique(t).name for t in techniques)
+    result = ProgramResult(techniques=techniques)
     for tech in result.techniques:
         machine = Machine(tech, config=config)
         checksum = entry(machine)
@@ -177,7 +182,8 @@ def kernel_experiment_run(options) -> ProgramResult:
     ``source`` / ``path``
         the program text or a file path (default: the demo program)
     ``techniques``
-        sequence of technique names (default: the Figure 6 five)
+        sequence of technique names (default: the registry's figure
+        set -- the paper's five plus ``soa``)
     ``config``
         ``"small"`` to force the CI-sized GPU (default: options.config)
     """
@@ -190,5 +196,7 @@ def kernel_experiment_run(options) -> ProgramResult:
     config = options.config
     if params.get("config") == "small":
         config = small_config()
-    techniques = tuple(params.get("techniques", FIGURE6_TECHNIQUES))
+    techniques = params.get("techniques")
+    if techniques is not None:
+        techniques = tuple(techniques)
     return run_program(entry, techniques=techniques, config=config)

@@ -43,7 +43,6 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..errors import FrontendError
-from ..memory.address_space import strip_tag_array
 from ..memory.heap import SCALAR_TYPES
 from ..runtime.typesystem import TypeDescriptor
 
@@ -274,21 +273,15 @@ def _alloc(cls, machine, count: int) -> np.ndarray:
 def _read_field(cls, machine, ptrs, field: str) -> np.ndarray:
     """Host-side (uncharged) gather of a field over object pointers."""
     td = getattr(cls, _DESCRIPTOR_ATTR)
-    lay = machine.registry.layout(td)
-    canon = strip_tag_array(
-        np.atleast_1d(np.asarray(ptrs, dtype=np.uint64)))
-    return machine.heap.gather(
-        canon + np.uint64(lay.offset(field)), lay.dtype(field))
+    arr = np.atleast_1d(np.asarray(ptrs, dtype=np.uint64))
+    return machine.read_field(arr, td, field)
 
 
 def _write_field(cls, machine, ptrs, field: str, values) -> None:
     """Host-side (uncharged) scatter into a field (initialisation)."""
     td = getattr(cls, _DESCRIPTOR_ATTR)
     lay = machine.registry.layout(td)
-    canon = strip_tag_array(
-        np.atleast_1d(np.asarray(ptrs, dtype=np.uint64)))
+    arr = np.atleast_1d(np.asarray(ptrs, dtype=np.uint64))
     np_dtype = SCALAR_TYPES[lay.dtype(field)][0]
-    vals = np.broadcast_to(
-        np.asarray(values, dtype=np_dtype), canon.shape)
-    machine.heap.scatter(
-        canon + np.uint64(lay.offset(field)), lay.dtype(field), vals)
+    machine.write_field(arr, lay, field,
+                        np.asarray(values, dtype=np_dtype))

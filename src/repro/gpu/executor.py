@@ -203,7 +203,9 @@ class ExecutionContext:
                      role: str = None) -> None:
         """Atomic RMW on an object member (atomicAdd(&obj->f, v))."""
         layout = self.machine.registry.layout(type_desc)
-        addrs = self.object_addrs(objptrs) + np.uint64(layout.offset(field))
+        addrs = self.machine.allocator.field_addrs(
+            self.object_addrs(objptrs), layout, field
+        )
         self.atomic(addrs, layout.dtype(field), values, op=op, role=role)
 
     def peek(self, addrs: np.ndarray, dtype: str = "u64") -> np.ndarray:
@@ -234,13 +236,19 @@ class ExecutionContext:
     def load_field(self, objptrs: np.ndarray, type_desc: TypeDescriptor,
                    field: str, role: str = None) -> np.ndarray:
         layout = self.machine.registry.layout(type_desc)
-        addrs = self.object_addrs(objptrs) + np.uint64(layout.offset(field))
+        # the allocator owns field placement: base + offset for the AoS
+        # allocators (tag-transparent), field-major for SoA blocks
+        addrs = self.machine.allocator.field_addrs(
+            self.object_addrs(objptrs), layout, field
+        )
         return self.load(addrs, layout.dtype(field), role=role)
 
     def store_field(self, objptrs: np.ndarray, type_desc: TypeDescriptor,
                     field: str, values) -> None:
         layout = self.machine.registry.layout(type_desc)
-        addrs = self.object_addrs(objptrs) + np.uint64(layout.offset(field))
+        addrs = self.machine.allocator.field_addrs(
+            self.object_addrs(objptrs), layout, field
+        )
         self.store(addrs, layout.dtype(field), values)
 
     # ------------------------------------------------------------------

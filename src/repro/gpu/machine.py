@@ -3,7 +3,8 @@
 A machine bundles everything one evaluated configuration needs --
 heap, MMU (in the right mode), allocator, cache hierarchy, type
 registry, vTable arena and dispatch strategy -- under a technique
-name from the paper's evaluation (section 8):
+name resolved through the :mod:`repro.techniques` registry (run
+``python -m repro` help or ``techniques.available()`` for the list):
 
 ==================  =========================================================
 ``cuda``            default CUDA allocator + embedded-vTable dispatch
@@ -14,6 +15,7 @@ name from the paper's evaluation (section 8):
 ``typepointer_proto``  as above but the software prototype: stock MMU,
                     compiler-inserted masking at member accesses (6.3)
 ``tp_on_cuda``      default CUDA allocator + tag-bit dispatch (Figure 11)
+``soa``             DynaSOAr-family SoA allocator + embedded-vTable dispatch
 ==================  =========================================================
 """
 from __future__ import annotations
@@ -23,24 +25,15 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from .. import obs
-from ..core.dispatch import (
-    COALDispatch,
-    ConcordDispatch,
-    DispatchStrategy,
-    SharedVTableDispatch,
-    TypePointerDispatch,
-    VTableDispatch,
-)
 from ..errors import LaunchError
 from ..memory.address_space import strip_tag_array
-from ..memory.cuda_allocator import CudaHeapAllocator
 from ..memory.heap import Heap
-from ..memory.mmu import MMU, MMUMode
-from ..memory.shared_oa import SharedOAAllocator
-from ..memory.typepointer_alloc import TypePointerAllocator
+from ..memory.mmu import MMU
 from ..runtime.objects import DeviceArray
-from ..runtime.typesystem import TypeDescriptor, TypeRegistry
+from ..runtime.typesystem import ObjectLayout, TypeDescriptor, TypeRegistry
 from ..runtime.vtable import VTableArena
+from ..techniques import available as _available_techniques
+from ..techniques import resolve as _resolve_technique
 from .cache import MemoryHierarchy
 from .config import GPUConfig
 from .constmem import ConstantMemory
@@ -49,19 +42,15 @@ from .tlb import TLBHierarchy
 from .executor import launch as _launch
 from .stats import KernelStats
 
-#: Technique names accepted by :class:`Machine`, in the paper's order.
-TECHNIQUES = (
-    "cuda",
-    "concord",
-    "sharedoa",
-    "coal",
-    "typepointer",
-    "typepointer_proto",
-    "typepointer_indexed",
-    "tp_on_cuda",
-)
+#: Deprecated alias: canonical technique names at import time.  New code
+#: should query :func:`repro.techniques.available` instead, which also
+#: reflects user registrations.
+TECHNIQUES = _available_techniques()
 
-#: The five configurations of Figure 6, in plotting order.
+#: Deprecated alias: the five configurations of the paper's Figure 6 in
+#: plotting order, frozen so historical figure output is reproducible.
+#: The sweeps now default to :func:`repro.techniques.figure_techniques`
+#: (these five plus ``soa``).
 FIGURE6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
 
 #: Process-wide replay memo newly constructed machines attach by
@@ -98,12 +87,12 @@ class Machine:
         heap_capacity: int = 1 << 22,
         merge_adjacent: bool = True,
     ):
-        if technique not in TECHNIQUES:
-            raise LaunchError(
-                f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
-            )
-        self.technique = technique
+        spec = _resolve_technique(technique)
+        self.technique = spec.name          # canonicalises aliases
         self.config = config or GPUConfig()
+        #: allocator tuning knobs, read by the registry's factories
+        self.initial_chunk_objects = initial_chunk_objects
+        self.merge_adjacent = merge_adjacent
         self.heap = Heap(capacity=heap_capacity)
         self.arena = VTableArena(self.heap)
         self.hierarchy = MemoryHierarchy(self.config)
@@ -126,13 +115,13 @@ class Machine:
         self._pending_traces: List[list] = []
         self._waves_replayed = 0
 
-        self.strategy = self._make_strategy(technique)
+        # no per-technique branching here: the registry spec carries the
+        # dispatch strategy, allocator recipe and MMU mode
+        self.strategy = spec.dispatch_factory()
         self._registered: set = set()
         self.registry = TypeRegistry(header_size=self.strategy.header_size)
-        self.allocator = self._make_allocator(
-            technique, initial_chunk_objects, merge_adjacent
-        )
-        self.mmu = MMU(self.heap, mode=self._mmu_mode(technique))
+        self.allocator = spec.allocator_factory(self)
+        self.mmu = MMU(self.heap, mode=spec.mmu_mode)
         self.strategy.bind(self)
 
         #: accumulated counters across every launch of this machine
@@ -141,66 +130,6 @@ class Machine:
         #: (label, KernelStats) per launch, newest last (bounded)
         self.launch_history: List[tuple] = []
         self.max_history = 256
-
-    # ------------------------------------------------------------------
-    # configuration
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _make_strategy(technique: str) -> DispatchStrategy:
-        if technique == "cuda":
-            return VTableDispatch()
-        if technique == "concord":
-            return ConcordDispatch()
-        if technique == "sharedoa":
-            return SharedVTableDispatch()
-        if technique == "coal":
-            return COALDispatch()
-        if technique == "typepointer":
-            return TypePointerDispatch(software_mask=False)
-        if technique == "typepointer_proto":
-            return TypePointerDispatch(software_mask=True)
-        if technique == "typepointer_indexed":
-            # the section-6.1 fallback: index tags + padded tables
-            return TypePointerDispatch(index_mode=True)
-        if technique == "tp_on_cuda":
-            return TypePointerDispatch(software_mask=False, header_size=8)
-        raise LaunchError(f"unknown technique {technique!r}")
-
-    def _make_allocator(self, technique, initial_chunk_objects, merge_adjacent):
-        if technique in ("cuda", "concord"):
-            return CudaHeapAllocator(self.heap)
-        if technique in ("sharedoa", "coal"):
-            return SharedOAAllocator(
-                self.heap,
-                initial_chunk_objects=initial_chunk_objects,
-                merge_adjacent=merge_adjacent,
-            )
-        if technique in ("typepointer", "typepointer_proto",
-                         "typepointer_indexed"):
-            inner = SharedOAAllocator(
-                self.heap,
-                initial_chunk_objects=initial_chunk_objects,
-                merge_adjacent=merge_adjacent,
-            )
-            tagger = (
-                self.arena.index_for_type
-                if technique == "typepointer_indexed"
-                else self.arena.tag_for_type
-            )
-            return TypePointerAllocator(inner, tagger)
-        if technique == "tp_on_cuda":
-            return TypePointerAllocator(
-                CudaHeapAllocator(self.heap), self.arena.tag_for_type
-            )
-        raise LaunchError(f"unknown technique {technique!r}")
-
-    @staticmethod
-    def _mmu_mode(technique: str) -> MMUMode:
-        if technique in ("typepointer", "typepointer_indexed", "tp_on_cuda"):
-            return MMUMode.TYPEPOINTER
-        if technique == "typepointer_proto":
-            return MMUMode.PROTOTYPE
-        return MMUMode.BASELINE
 
     # ------------------------------------------------------------------
     # object and array management
@@ -256,6 +185,48 @@ class Machine:
             self.allocator.free_object(int(arr[0]))
             return
         self.allocator.free_objects_many(arr)
+
+    # ------------------------------------------------------------------
+    # host-side field access
+    # ------------------------------------------------------------------
+    def _layout_of(self, type_or_layout) -> ObjectLayout:
+        if isinstance(type_or_layout, ObjectLayout):
+            return type_or_layout
+        return self.registry.layout(type_or_layout)
+
+    def field_addr(self, ptr: int, type_or_layout, field: str) -> int:
+        """Canonical address of one object's field under this allocator."""
+        layout = self._layout_of(type_or_layout)
+        canon = self.allocator._canonical(int(ptr))
+        return self.allocator.field_addr(canon, layout, field)
+
+    def read_field(self, ptrs, type_or_layout, field: str):
+        """Host-side read of one field from one or many object pointers.
+
+        Pointers may carry TypePointer tags.  Scalar in, scalar out;
+        array in, array out.  All placement knowledge stays inside the
+        allocator's ``field_addr(s)`` hook -- under the SoA technique
+        these addresses are field-major, not base + offset.
+        """
+        layout = self._layout_of(type_or_layout)
+        dtype = layout.dtype(field)
+        if isinstance(ptrs, np.ndarray):
+            canon = strip_tag_array(ptrs.astype(np.uint64, copy=False))
+            addrs = self.allocator.field_addrs(canon, layout, field)
+            return self.heap.gather(addrs, dtype)
+        return self.heap.load(self.field_addr(ptrs, layout, field), dtype)
+
+    def write_field(self, ptrs, type_or_layout, field: str, values) -> None:
+        """Host-side write of one field; broadcasts a scalar ``values``."""
+        layout = self._layout_of(type_or_layout)
+        dtype = layout.dtype(field)
+        if isinstance(ptrs, np.ndarray):
+            canon = strip_tag_array(ptrs.astype(np.uint64, copy=False))
+            addrs = self.allocator.field_addrs(canon, layout, field)
+            vals = np.broadcast_to(np.asarray(values), addrs.shape)
+            self.heap.scatter(addrs, dtype, vals)
+            return
+        self.heap.store(self.field_addr(ptrs, layout, field), dtype, values)
 
     def array(self, dtype: str, count: int) -> DeviceArray:
         return DeviceArray(self, dtype, count)

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..gpu.config import GPUConfig
 from ..gpu.isa import ROLE_INDIRECT_CALL
-from ..gpu.machine import FIGURE6_TECHNIQUES
+from ..techniques import figure_techniques
 from .report import format_table, matrix_table
 from .runner import (
     DEFAULT_SCALE,
@@ -82,10 +82,12 @@ def fig1_breakdown(
 # ----------------------------------------------------------------------
 def fig6_performance(
     workloads: Optional[Sequence[str]] = None,
-    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    techniques: Optional[Sequence[str]] = None,
     scale: float = DEFAULT_SCALE,
     config: Optional[GPUConfig] = None,
 ) -> FigureResult:
+    if techniques is None:
+        techniques = figure_techniques()
     records = run_sweep(workloads, techniques, scale=scale, config=config)
     perf = normalized(records, "cycles", baseline="sharedoa", invert=True)
     gm = geomean_by_technique(perf)
@@ -102,10 +104,12 @@ def fig6_performance(
 # ----------------------------------------------------------------------
 def fig7_instruction_mix(
     workloads: Optional[Sequence[str]] = None,
-    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    techniques: Optional[Sequence[str]] = None,
     scale: float = DEFAULT_SCALE,
     config: Optional[GPUConfig] = None,
 ) -> FigureResult:
+    if techniques is None:
+        techniques = figure_techniques()
     records = run_sweep(workloads, techniques, scale=scale, config=config)
     values: Dict[Tuple[str, str], Dict[str, float]] = {}
     workload_set: List[str] = []
@@ -143,10 +147,12 @@ def fig7_instruction_mix(
 # ----------------------------------------------------------------------
 def fig8_load_transactions(
     workloads: Optional[Sequence[str]] = None,
-    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    techniques: Optional[Sequence[str]] = None,
     scale: float = DEFAULT_SCALE,
     config: Optional[GPUConfig] = None,
 ) -> FigureResult:
+    if techniques is None:
+        techniques = figure_techniques()
     records = run_sweep(workloads, techniques, scale=scale, config=config)
     ratios = normalized(records, "gld_transactions", baseline="sharedoa")
     gm = geomean_by_technique(ratios)
@@ -163,10 +169,12 @@ def fig8_load_transactions(
 # ----------------------------------------------------------------------
 def fig9_l1_hit_rate(
     workloads: Optional[Sequence[str]] = None,
-    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    techniques: Optional[Sequence[str]] = None,
     scale: float = DEFAULT_SCALE,
     config: Optional[GPUConfig] = None,
 ) -> FigureResult:
+    if techniques is None:
+        techniques = figure_techniques()
     records = run_sweep(workloads, techniques, scale=scale, config=config)
     values = {
         (wl, tech): rec.l1_hit_rate for (wl, tech), rec in records.items()

@@ -31,12 +31,16 @@ import numpy as np
 from ..gpu.config import small_config
 from ..gpu.machine import Machine
 from ..runtime.typesystem import TypeDescriptor
+from ..techniques import fuzz_techniques
 
-#: techniques cross-checked by default (every dispatch implementation)
-DEFAULT_TECHNIQUES = (
-    "cuda", "concord", "sharedoa", "coal",
-    "typepointer", "typepointer_proto", "typepointer_indexed",
-)
+
+def default_techniques() -> Tuple[str, ...]:
+    """Techniques cross-checked by default: the registry's fuzz set."""
+    return fuzz_techniques()
+
+
+#: deprecated alias for :func:`default_techniques` at import time
+DEFAULT_TECHNIQUES = default_techniques()
 
 
 @dataclass
@@ -185,7 +189,6 @@ def _execute(prog: FuzzProgram, technique: str,
         base, leaves = _build_types(prog, f"{technique}-{prog.seed}")
     m.register(*leaves)
     layout = m.registry.layout(base)
-    off_v, off_w = layout.offset("v"), layout.offset("w")
     live: List[Optional[int]] = []
 
     for op in prog.ops:
@@ -214,9 +217,8 @@ def _execute(prog: FuzzProgram, technique: str,
     for p in live:
         if p is None:
             continue
-        c = m.allocator._canonical(p)
-        out.append((int(m.heap.load(c + off_v, "u32")),
-                    int(m.heap.load(c + off_w, "u32"))))
+        out.append((int(m.read_field(p, layout, "v")),
+                    int(m.read_field(p, layout, "w"))))
     return tuple(out)
 
 
@@ -231,7 +233,7 @@ class FuzzReport:
 
 
 def fuzz(num_programs: int = 50, start_seed: int = 0,
-         techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+         techniques: Optional[Sequence[str]] = None,
          frontend: bool = False) -> FuzzReport:
     """Cross-check ``num_programs`` random programs; returns a report.
 
@@ -239,6 +241,8 @@ def fuzz(num_programs: int = 50, start_seed: int = 0,
     the public ``device_class`` front-end instead of raw descriptors,
     so divergences implicate the front-end lowering as well.
     """
+    if techniques is None:
+        techniques = default_techniques()
     report = FuzzReport(programs=num_programs)
     for seed in range(start_seed, start_seed + num_programs):
         prog = generate_program(seed)
@@ -259,10 +263,17 @@ def main(argv=None) -> int:  # pragma: no cover - thin CLI
     frontend = "--frontend" in argv
     if frontend:
         argv.remove("--frontend")
+    techniques = None
+    if "--techniques" in argv:
+        i = argv.index("--techniques")
+        techniques = tuple(t for t in argv[i + 1].split(",") if t)
+        del argv[i:i + 2]
+    if techniques is None:
+        techniques = default_techniques()
     n = int((argv or ["50"])[0])
-    report = fuzz(n, frontend=frontend)
+    report = fuzz(n, techniques=techniques, frontend=frontend)
     mode = " (frontend mode)" if frontend else ""
-    print(f"fuzzed {report.programs} programs x {len(DEFAULT_TECHNIQUES)} "
+    print(f"fuzzed {report.programs} programs x {len(techniques)} "
           f"techniques{mode}: "
           f"{'all agree with the oracle' if report.ok else 'DIVERGENCES'}")
     for d in report.divergences:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..gpu.config import GPUConfig
-from ..gpu.machine import FIGURE6_TECHNIQUES
+from ..techniques import figure_techniques
 from ..workloads import workload_names
 from .runner import DEFAULT_SCALE
 
@@ -156,13 +156,13 @@ def _register_all() -> None:
     ))
 
     sweep_exp("fig6", "Figure 6: performance normalized to SharedOA",
-              figures.fig6_performance, FIGURE6_TECHNIQUES)
+              figures.fig6_performance, figure_techniques())
     sweep_exp("fig7", "Figure 7: warp instruction mix vs SharedOA",
-              figures.fig7_instruction_mix, FIGURE6_TECHNIQUES)
+              figures.fig7_instruction_mix, figure_techniques())
     sweep_exp("fig8", "Figure 8: global load transactions vs SharedOA",
-              figures.fig8_load_transactions, FIGURE6_TECHNIQUES)
+              figures.fig8_load_transactions, figure_techniques())
     sweep_exp("fig9", "Figure 9: L1 hit rate per technique",
-              figures.fig9_l1_hit_rate, FIGURE6_TECHNIQUES)
+              figures.fig9_l1_hit_rate, figure_techniques())
 
     register(Experiment(
         name="fig10",

@@ -14,7 +14,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..gpu.config import GPUConfig, scaled_config
-from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
+from ..gpu.machine import Machine
+from ..techniques import figure_techniques
 from ..workloads import make_workload, workload_names
 
 #: Scale every benchmark runs at by default (fraction of each
@@ -207,13 +208,15 @@ def run_one(
 
 def run_sweep(
     workloads: Optional[Sequence[str]] = None,
-    techniques: Sequence[str] = FIGURE6_TECHNIQUES,
+    techniques: Optional[Sequence[str]] = None,
     scale: float = DEFAULT_SCALE,
     iterations: Optional[int] = DEFAULT_ITERATIONS,
     config: Optional[GPUConfig] = None,
     seed: int = 7,
 ) -> Dict[Tuple[str, str], RunRecord]:
     """Run every (workload, technique) pair; returns the record map."""
+    if techniques is None:
+        techniques = figure_techniques()
     names = list(workloads) if workloads is not None else workload_names()
     out: Dict[Tuple[str, str], RunRecord] = {}
     for wl in names:

@@ -17,12 +17,14 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..gpu.config import GPUConfig, scaled_config
 from ..gpu.machine import Machine
+from ..techniques import microbench_techniques
 from ..workloads.microbench import BranchMicrobench, ObjectMicrobench
 from .figures import FigureResult
 from .report import format_table
 
-#: techniques shown in Figure 12 (BRANCH handled separately)
-FIG12_TECHNIQUES = ("cuda", "coal", "typepointer")
+#: techniques shown in Figure 12 (BRANCH handled separately): the
+#: registry's microbench set -- the paper's three plus ``soa``
+FIG12_TECHNIQUES = microbench_techniques()
 
 DEFAULT_OBJECT_SWEEP = (32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576)
 DEFAULT_TYPE_SWEEP = (1, 2, 4, 8, 16, 32)

@@ -22,6 +22,7 @@ from .fragmentation import FragmentationReport, measure, per_type_usage
 from .heap import Heap
 from .mmu import MMU, MMUMode, MMUStats
 from .shared_oa import Region, SharedOAAllocator
+from .soa_allocator import BLOCK_CAPACITY, SoaAllocator, SoaBlock
 from .typepointer_alloc import TypePointerAllocator
 
 __all__ = [
@@ -53,5 +54,8 @@ __all__ = [
     "MMUStats",
     "Region",
     "SharedOAAllocator",
+    "BLOCK_CAPACITY",
+    "SoaAllocator",
+    "SoaBlock",
     "TypePointerAllocator",
 ]

@@ -86,8 +86,17 @@ class Allocator(abc.ABC):
         self.stats.live_bytes += size
         self.stats.modeled_alloc_cycles += self.ALLOC_CYCLE_COST
         obs.count("memory.alloc_objects")
-        self.heap.fill(addr, size, 0)
+        self._zero_object(addr, type_key, size)
         return addr
+
+    def _zero_object(self, addr: int, type_key: Hashable, size: int) -> None:
+        """Zero a fresh object's storage.
+
+        The default assumes the object's bytes are contiguous at
+        ``addr``; allocators with a non-contiguous (e.g. field-major)
+        layout override this to zero exactly the cells the object owns.
+        """
+        self.heap.fill(addr, size, 0)
 
     def free_object(self, ptr: int) -> None:
         """Free a pointer previously returned by :meth:`alloc_object`."""
@@ -158,6 +167,30 @@ class Allocator(abc.ABC):
     def _canonical_array(self, ptrs: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`_canonical`; identity by default."""
         return ptrs
+
+    # ------------------------------------------------------------------
+    # field addressing
+    # ------------------------------------------------------------------
+    def field_addr(self, addr: int, layout, field: str) -> int:
+        """Address of one object's field, given its canonical ``addr``.
+
+        Every member access -- device-side (charged) and host-side --
+        routes through this hook, so an allocator that places fields
+        away from the object base (field-major SoA blocks) changes the
+        whole address stream in one place.  The default is the
+        array-of-structures rule: base plus the layout offset.
+        """
+        return addr + layout.offset(field)
+
+    def field_addrs(self, addrs: np.ndarray, layout, field: str) -> np.ndarray:
+        """Vectorised :meth:`field_addr` over same-typed object pointers.
+
+        ``addrs`` may still carry TypePointer tag bits (device-side
+        accesses pass through the MMU, which strips them); the default
+        AoS rule is tag-transparent because the offset only touches the
+        low bits.
+        """
+        return addrs + np.uint64(layout.offset(field))
 
     def owner_type(self, ptr: int) -> Optional[Hashable]:
         """Ground-truth type of a live object, or None (validation only)."""

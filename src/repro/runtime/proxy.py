@@ -61,25 +61,25 @@ class ObjectProxy:
     # ------------------------------------------------------------------
     def __getattr__(self, name: str):
         try:
-            off = self._layout.offset(name)
+            addr = self._machine.allocator.field_addr(
+                self._canonical, self._layout, name
+            )
         except TypeSystemError:
             raise AttributeError(
                 f"{self._type.name} has no field {name!r}"
             ) from None
-        return self._machine.heap.load(
-            self._canonical + off, self._layout.dtype(name)
-        )
+        return self._machine.heap.load(addr, self._layout.dtype(name))
 
     def __setattr__(self, name: str, value) -> None:
         try:
-            off = self._layout.offset(name)
+            addr = self._machine.allocator.field_addr(
+                self._canonical, self._layout, name
+            )
         except TypeSystemError:
             raise AttributeError(
                 f"{self._type.name} has no field {name!r}"
             ) from None
-        self._machine.heap.store(
-            self._canonical + off, self._layout.dtype(name), value
-        )
+        self._machine.heap.store(addr, self._layout.dtype(name), value)
 
     # ------------------------------------------------------------------
     def call(self, method: str):

@@ -1,0 +1,286 @@
+"""The technique registry: one pluggable seam for allocator + dispatch.
+
+A *technique* is the paper's unit of comparison: an object allocator
+paired with a virtual-call dispatch strategy (plus the MMU mode the
+pair needs).  They used to be hardcoded as if-chains inside
+``Machine.__init__`` and as scattered name tuples across the harness,
+front-end and CLI; this module replaces all of that with one registry:
+
+* :func:`register` declares a technique (factories, header size, MMU
+  mode, aliases, query tags),
+* :func:`resolve` maps any name or alias to its :class:`TechniqueSpec`
+  (raising :class:`~repro.errors.UnknownTechniqueError` with
+  did-you-mean hints),
+* :func:`available` / :func:`figure_techniques` /
+  :func:`fuzz_techniques` / :func:`microbench_techniques` are the
+  queries the harnesses enumerate instead of keeping their own copies.
+
+Adding a technique is one ``register`` call -- which is exactly how
+``soa`` (the DynaSOAr-family structure-of-arrays allocator) lands as
+the sixth column next to the paper's five.
+"""
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+from .errors import UnknownTechniqueError
+from .memory.allocators import Allocator
+from .memory.cuda_allocator import CudaHeapAllocator
+from .memory.mmu import MMUMode
+from .memory.shared_oa import SharedOAAllocator
+from .memory.soa_allocator import SoaAllocator
+from .memory.typepointer_alloc import TypePointerAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core.dispatch import DispatchStrategy
+    from .gpu.machine import Machine
+
+#: Tags a technique can carry; each tag feeds one registry query.
+#: ``paper``      -- evaluated in the source paper itself
+#: ``figure``     -- swept by the Figure 6-9 / Table experiments
+#: ``fuzz``       -- cross-checked by the differential fuzzer
+#: ``microbench`` -- swept by the Figure 12 scalability microbenchmarks
+KNOWN_TAGS = frozenset({"paper", "figure", "fuzz", "microbench"})
+
+
+@dataclass(frozen=True)
+class TechniqueSpec:
+    """Everything :class:`~repro.gpu.machine.Machine` needs for one name."""
+
+    name: str
+    #: builds the object allocator; receives the (partially constructed)
+    #: machine, which already exposes ``heap``, ``arena``, ``registry``
+    #: and the allocator tuning knobs
+    allocator_factory: Callable[["Machine"], Allocator]
+    #: builds a fresh dispatch strategy instance
+    dispatch_factory: Callable[[], "DispatchStrategy"]
+    #: bytes of per-object header (must match the strategy's)
+    header_size: int
+    mmu_mode: MMUMode = MMUMode.BASELINE
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    tags: frozenset = field(default_factory=frozenset)
+
+
+#: canonical name -> spec, in registration (= presentation) order
+_REGISTRY: Dict[str, TechniqueSpec] = {}
+#: alias -> canonical name
+_ALIASES: Dict[str, str] = {}
+#: builtins register lazily on first registry access: their dispatch
+#: classes live in repro.core, which transitively imports repro.gpu --
+#: importing them here at module level would be a cycle
+_builtins_registered = False
+
+
+def register(
+    name: str,
+    allocator_factory: Callable[["Machine"], Allocator],
+    dispatch_factory: Callable[[], "DispatchStrategy"],
+    *,
+    header_size: int,
+    mmu_mode: MMUMode = MMUMode.BASELINE,
+    aliases: Tuple[str, ...] = (),
+    description: str = "",
+    tags=(),
+) -> TechniqueSpec:
+    """Register a technique; returns its spec.
+
+    Duplicate names (or aliases colliding with existing names/aliases)
+    raise ``ValueError`` -- re-registration must go through
+    :func:`unregister` first, so tests can't silently shadow builtins.
+    """
+    _ensure_builtins()
+    if name in _REGISTRY or name in _ALIASES:
+        raise ValueError(f"duplicate technique {name!r}")
+    tagset = frozenset(tags)
+    unknown = tagset - KNOWN_TAGS
+    if unknown:
+        raise ValueError(
+            f"unknown technique tags {sorted(unknown)}; "
+            f"known: {sorted(KNOWN_TAGS)}"
+        )
+    for alias in aliases:
+        if alias in _REGISTRY or alias in _ALIASES:
+            raise ValueError(f"duplicate technique alias {alias!r}")
+    spec = TechniqueSpec(
+        name=name,
+        allocator_factory=allocator_factory,
+        dispatch_factory=dispatch_factory,
+        header_size=header_size,
+        mmu_mode=mmu_mode,
+        aliases=tuple(aliases),
+        description=description,
+        tags=tagset,
+    )
+    _REGISTRY[name] = spec
+    for alias in aliases:
+        _ALIASES[alias] = name
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a technique (test isolation for user registrations)."""
+    _ensure_builtins()
+    spec = _REGISTRY.pop(name, None)
+    if spec is None:
+        raise KeyError(f"technique {name!r} is not registered")
+    for alias in spec.aliases:
+        _ALIASES.pop(alias, None)
+
+
+def resolve(name: str) -> TechniqueSpec:
+    """Name or alias -> spec; unknown names get did-you-mean hints."""
+    _ensure_builtins()
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    canonical = _ALIASES.get(name)
+    if canonical is not None:
+        return _REGISTRY[canonical]
+    candidates = list(_REGISTRY) + list(_ALIASES)
+    hints = difflib.get_close_matches(str(name), candidates, n=3, cutoff=0.5)
+    raise UnknownTechniqueError(name, known=tuple(_REGISTRY), hints=hints)
+
+
+def available() -> Tuple[str, ...]:
+    """Every canonical technique name, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def get(name: str) -> TechniqueSpec:
+    """Alias-free exact lookup (KeyError on miss)."""
+    _ensure_builtins()
+    return _REGISTRY[name]
+
+
+def _tagged(tag: str) -> Tuple[str, ...]:
+    _ensure_builtins()
+    return tuple(n for n, s in _REGISTRY.items() if tag in s.tags)
+
+
+def paper_techniques() -> Tuple[str, ...]:
+    """The paper's original five (Figure 6), in plotting order."""
+    return _tagged("paper")
+
+
+def figure_techniques() -> Tuple[str, ...]:
+    """Techniques the figure/table sweeps compare (paper five + soa)."""
+    return _tagged("figure")
+
+
+def fuzz_techniques() -> Tuple[str, ...]:
+    """Techniques the differential fuzzer cross-checks by default."""
+    return _tagged("fuzz")
+
+
+def microbench_techniques() -> Tuple[str, ...]:
+    """Techniques the Figure 12 scalability microbenchmarks sweep."""
+    return _tagged("microbench")
+
+
+# ----------------------------------------------------------------------
+# built-in registrations (the paper's techniques + our variants + soa)
+# ----------------------------------------------------------------------
+def _cuda_allocator(m: "Machine") -> Allocator:
+    return CudaHeapAllocator(m.heap)
+
+
+def _sharedoa_allocator(m: "Machine") -> Allocator:
+    return SharedOAAllocator(
+        m.heap,
+        initial_chunk_objects=m.initial_chunk_objects,
+        merge_adjacent=m.merge_adjacent,
+    )
+
+
+def _tp_allocator(m: "Machine") -> Allocator:
+    return TypePointerAllocator(_sharedoa_allocator(m), m.arena.tag_for_type)
+
+
+def _tp_indexed_allocator(m: "Machine") -> Allocator:
+    return TypePointerAllocator(_sharedoa_allocator(m), m.arena.index_for_type)
+
+
+def _tp_on_cuda_allocator(m: "Machine") -> Allocator:
+    return TypePointerAllocator(_cuda_allocator(m), m.arena.tag_for_type)
+
+
+def _soa_allocator(m: "Machine") -> Allocator:
+    return SoaAllocator(m.heap, header_size=16, layout_for=m.registry.layout)
+
+
+def _ensure_builtins() -> None:
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    # deferred: repro.core transitively imports repro.gpu.machine, which
+    # imports this module
+    from .core.dispatch import (
+        COALDispatch,
+        ConcordDispatch,
+        SharedVTableDispatch,
+        TypePointerDispatch,
+        VTableDispatch,
+    )
+
+    register(
+        "cuda", _cuda_allocator, VTableDispatch, header_size=8,
+        description="default CUDA allocator + embedded-vTable dispatch",
+        tags=("paper", "figure", "fuzz", "microbench"),
+    )
+    register(
+        "concord", _cuda_allocator, ConcordDispatch, header_size=4,
+        description="default CUDA allocator + type-tag/switch dispatch "
+                    "(Concord)",
+        tags=("paper", "figure", "fuzz"),
+    )
+    register(
+        "sharedoa", _sharedoa_allocator, SharedVTableDispatch,
+        header_size=16,
+        description="SharedOA allocator + embedded-vTable dispatch",
+        tags=("paper", "figure", "fuzz"),
+    )
+    register(
+        "coal", _sharedoa_allocator, COALDispatch, header_size=16,
+        description="SharedOA allocator + COAL range-lookup dispatch",
+        tags=("paper", "figure", "fuzz", "microbench"),
+    )
+    register(
+        "typepointer", _tp_allocator,
+        lambda: TypePointerDispatch(software_mask=False),
+        header_size=16, mmu_mode=MMUMode.TYPEPOINTER,
+        aliases=("tp",),
+        description="SharedOA allocator + tag-bit dispatch, modified MMU",
+        tags=("paper", "figure", "fuzz", "microbench"),
+    )
+    register(
+        "typepointer_proto", _tp_allocator,
+        lambda: TypePointerDispatch(software_mask=True),
+        header_size=16, mmu_mode=MMUMode.PROTOTYPE,
+        description="TypePointer software prototype: stock MMU, "
+                    "compiler-inserted masking (section 6.3)",
+        tags=("fuzz",),
+    )
+    register(
+        "typepointer_indexed", _tp_indexed_allocator,
+        lambda: TypePointerDispatch(index_mode=True),
+        header_size=16, mmu_mode=MMUMode.TYPEPOINTER,
+        description="section-6.1 fallback: index tags + padded tables",
+        tags=("fuzz",),
+    )
+    register(
+        "tp_on_cuda", _tp_on_cuda_allocator,
+        lambda: TypePointerDispatch(software_mask=False, header_size=8),
+        header_size=8, mmu_mode=MMUMode.TYPEPOINTER,
+        description="default CUDA allocator + tag-bit dispatch (Figure 11)",
+    )
+    register(
+        "soa", _soa_allocator, SharedVTableDispatch, header_size=16,
+        aliases=("dynasoar", "soaalloc"),
+        description="DynaSOAr-family SoA allocator (field-major blocks, "
+                    "bitmap free lists) + embedded-vTable dispatch",
+        tags=("figure", "fuzz", "microbench"),
+    )

@@ -26,7 +26,6 @@ from typing import Dict
 import numpy as np
 
 from ..frontend import abstract, device_class, kernel
-from ..memory.address_space import strip_tag_array
 from ..runtime.typesystem import TypeDescriptor
 from .base import Workload
 
@@ -131,11 +130,10 @@ class CellularAutomaton(Workload):
         m = self.machine
         tdesc = self.state_types[state]
         ptr = m.new_objects(tdesc, 1)[0]
-        c = m.allocator._canonical(int(ptr))
         lay = m.registry.layout(tdesc)
-        m.heap.store(c + lay.offset("alive"), "u32", 1 if state == 1 else 0)
-        m.heap.store(c + lay.offset("state"), "u32", state)
-        m.heap.store(c + lay.offset("index"), "u32", index)
+        m.write_field(ptr, lay, "alive", 1 if state == 1 else 0)
+        m.write_field(ptr, lay, "state", state)
+        m.write_field(ptr, lay, "index", index)
         return int(ptr)
 
     # ------------------------------------------------------------------
@@ -149,11 +147,9 @@ class CellularAutomaton(Workload):
         """Destroy/recreate cells whose state changed (host side)."""
         m = self.machine
         lay = m.registry.layout(self.Cell)
-        off_state = lay.offset("state")
         # one host-side gather over every cell's state field finds the
         # changed cells; only those walk the free/reconstruct path
-        canon = strip_tag_array(self.cell_ptrs)
-        new_states = m.heap.gather(canon + np.uint64(off_state), "u32")
+        new_states = m.read_field(self.cell_ptrs, lay, "state")
         changed_idx = np.flatnonzero(new_states != self.states)
         for i in changed_idx.tolist():
             new_state = int(new_states[i])

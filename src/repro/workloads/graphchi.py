@@ -86,10 +86,8 @@ class _GraphWorkload(Workload):
         vlay = m.registry.layout(self.Vertex)
         for i in range(n):
             p = m.new_objects(self.Vertex, 1)[0]
-            c = m.allocator._canonical(int(p))
-            m.heap.store(c + vlay.offset("vid"), "u32", i)
-            m.heap.store(c + vlay.offset("degree"), "u32",
-                         int(self.out_degree[i]))
+            m.write_field(p, vlay, "vid", i)
+            m.write_field(p, vlay, "degree", int(self.out_degree[i]))
             vptrs[i] = p
         self.vertex_ptrs = vptrs
         self.vertices = m.array_from(vptrs, "u64")
@@ -98,9 +96,8 @@ class _GraphWorkload(Workload):
         elay = m.registry.layout(self.Edge)
         for j in range(self.n_edges):
             p = m.new_objects(self.Edge, 1)[0]
-            c = m.allocator._canonical(int(p))
-            m.heap.store(c + elay.offset("src"), "u32", int(self.edge_src[j]))
-            m.heap.store(c + elay.offset("dst"), "u32", int(self.edge_dst[j]))
+            m.write_field(p, elay, "src", int(self.edge_src[j]))
+            m.write_field(p, elay, "dst", int(self.edge_dst[j]))
             eptrs[j] = p
         self.edge_ptrs = eptrs
         self.edges = m.array_from(eptrs, "u64")
@@ -118,23 +115,12 @@ class _GraphWorkload(Workload):
     def _vertex_field(self, field: str) -> np.ndarray:
         m = self.machine
         lay = m.registry.layout(self.Vertex)
-        off = lay.offset(field)
-        dt = lay.dtype(field)
-        out = []
-        for p in self.vertex_ptrs:
-            c = m.allocator._canonical(int(p))
-            out.append(m.heap.load(c + off, dt))
-        return np.array(out)
+        return m.read_field(self.vertex_ptrs, lay, field)
 
     def _set_vertex_field(self, field: str, values) -> None:
         m = self.machine
         lay = m.registry.layout(self.Vertex)
-        off = lay.offset(field)
-        dt = lay.dtype(field)
-        vals = np.broadcast_to(np.asarray(values), (self.n_vertices,))
-        for p, v in zip(self.vertex_ptrs, vals):
-            c = m.allocator._canonical(int(p))
-            m.heap.store(c + off, dt, v)
+        m.write_field(self.vertex_ptrs, lay, field, values)
 
     def _edge_kernel(self):
         edges, ChiEdge = self.edges, self.ChiEdge

@@ -54,25 +54,17 @@ class RayTracer(Workload):
         slay = m.registry.layout(self.Sphere)
         for _ in range(n_spheres):
             p = m.new_objects(self.Sphere, 1)[0]
-            c = m.allocator._canonical(int(p))
-            m.heap.store(c + slay.offset("cx"), "f32",
-                         float(rng.uniform(-6, 6)))
-            m.heap.store(c + slay.offset("cy"), "f32",
-                         float(rng.uniform(-4, 4)))
-            m.heap.store(c + slay.offset("cz"), "f32",
-                         float(rng.uniform(4, 18)))
-            m.heap.store(c + slay.offset("radius"), "f32",
-                         float(rng.uniform(0.4, 1.6)))
-            m.heap.store(c + slay.offset("albedo"), "f32",
-                         float(rng.uniform(0.2, 1.0)))
+            m.write_field(p, slay, "cx", float(rng.uniform(-6, 6)))
+            m.write_field(p, slay, "cy", float(rng.uniform(-4, 4)))
+            m.write_field(p, slay, "cz", float(rng.uniform(4, 18)))
+            m.write_field(p, slay, "radius", float(rng.uniform(0.4, 1.6)))
+            m.write_field(p, slay, "albedo", float(rng.uniform(0.2, 1.0)))
             ptrs.append(int(p))
         play = m.registry.layout(self.Plane)
         for k in range(n_planes):
             p = m.new_objects(self.Plane, 1)[0]
-            c = m.allocator._canonical(int(p))
-            m.heap.store(c + play.offset("y0"), "f32", float(-5.0 - k * 1.5))
-            m.heap.store(c + play.offset("albedo"), "f32",
-                         float(0.15 + 0.1 * (k % 3)))
+            m.write_field(p, play, "y0", float(-5.0 - k * 1.5))
+            m.write_field(p, play, "albedo", float(0.15 + 0.1 * (k % 3)))
             ptrs.append(int(p))
         self.scene_ptrs = ptrs
         self.framebuffer = m.array("f32", self.n_pixels)

@@ -57,11 +57,10 @@ class Structure(Workload):
             x, y = i % w, i // w
             tdesc = self.AnchorNode if y == 0 else self.Node
             p = m.new_objects(tdesc, 1)[0]
-            c = m.allocator._canonical(int(p))
             lay = m.registry.layout(tdesc)
-            m.heap.store(c + lay.offset("pos_x"), "f32", float(x))
-            m.heap.store(c + lay.offset("pos_y"), "f32", float(-y))
-            m.heap.store(c + lay.offset("force_y"), "f32", float(GRAVITY))
+            m.write_field(p, lay, "pos_x", float(x))
+            m.write_field(p, lay, "pos_y", float(-y))
+            m.write_field(p, lay, "force_y", float(GRAVITY))
             node_ptrs[i] = p
         self.node_ptrs = node_ptrs
         self.nodes = m.array_from(node_ptrs, "u64")
@@ -79,19 +78,15 @@ class Structure(Workload):
         spring_ptrs = np.empty(len(pairs), dtype=np.uint64)
         for j, (a, b) in enumerate(pairs):
             p = m.new_objects(self.Spring, 1)[0]
-            c = m.allocator._canonical(int(p))
             lay = m.registry.layout(self.Spring)
-            m.heap.store(c + lay.offset("node_a"), "u64", int(node_ptrs[a]))
-            m.heap.store(c + lay.offset("node_b"), "u64", int(node_ptrs[b]))
+            m.write_field(p, lay, "node_a", int(node_ptrs[a]))
+            m.write_field(p, lay, "node_b", int(node_ptrs[b]))
             # the lattice is assembled pre-stretched (rest < spacing), so
             # weak springs fail immediately and the fracture cascades
-            m.heap.store(c + lay.offset("rest"), "f32", 0.85)
-            m.heap.store(c + lay.offset("stiffness"), "f32", 1.2)
-            m.heap.store(
-                c + lay.offset("max_force"),
-                "f32",
-                float(0.15 + 0.6 * rng.random()),
-            )
+            m.write_field(p, lay, "rest", 0.85)
+            m.write_field(p, lay, "stiffness", 1.2)
+            m.write_field(p, lay, "max_force",
+                          float(0.15 + 0.6 * rng.random()))
             spring_ptrs[j] = p
         self.spring_ptrs = spring_ptrs
         self.springs = m.array_from(spring_ptrs, "u64")
@@ -219,19 +214,14 @@ class Structure(Workload):
     def broken_count(self) -> int:
         m = self.machine
         lay = m.registry.layout(self.Spring)
-        off = lay.offset("broken")
-        return sum(
-            int(m.heap.load(m.allocator._canonical(int(p)) + off, "u32"))
-            for p in self.spring_ptrs
-        )
+        broken = m.read_field(self.spring_ptrs, lay, "broken")
+        return int(broken.astype(np.int64).sum())
 
     def checksum(self) -> float:
         m = self.machine
         lay = m.registry.layout(self.NodeBase)
-        ox, oy = lay.offset("pos_x"), lay.offset("pos_y")
         total = 0.0
         for p in self.node_ptrs:
-            c = m.allocator._canonical(int(p))
-            total += float(m.heap.load(c + ox, "f32"))
-            total += 3.0 * float(m.heap.load(c + oy, "f32"))
+            total += float(m.read_field(int(p), lay, "pos_x"))
+            total += 3.0 * float(m.read_field(int(p), lay, "pos_y"))
         return round(total, 3) + 1000.0 * self.broken_count()

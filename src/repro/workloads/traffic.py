@@ -205,7 +205,6 @@ class Traffic(Workload):
         it_truck = iter(truck_pos)
         it_light = iter(light_pos)
         it_sensor = iter(sensor_pos)
-        heap = m.heap
         occ = self.occupancy
         for kind in kinds:
             if kind == "car":
@@ -218,17 +217,13 @@ class Traffic(Workload):
                 occ[int(self._field_addr_index(p))] = 1
             elif kind == "light":
                 p = m.new_objects(self.TrafficLight, 1)[0]
-                c = m.allocator._canonical(int(p))
                 lay = m.registry.layout(self.TrafficLight)
-                heap.store(c + lay.offset("pos"), "u32", int(next(it_light)))
-                heap.store(c + lay.offset("period"), "u32",
-                           int(8 + rng.integers(8)))
-                heap.store(c + lay.offset("phase"), "u32", 0)
+                m.write_field(p, lay, "pos", int(next(it_light)))
+                m.write_field(p, lay, "period", int(8 + rng.integers(8)))
+                m.write_field(p, lay, "phase", 0)
             else:
                 p = m.new_objects(self.Sensor, 1)[0]
-                c = m.allocator._canonical(int(p))
-                lay = m.registry.layout(self.Sensor)
-                heap.store(c + lay.offset("pos"), "u32", int(next(it_sensor)))
+                m.write_field(p, self.Sensor, "pos", int(next(it_sensor)))
             ptrs.append(p)
 
         # DynaSOAr-style do-all enumeration: the processing array groups
@@ -251,19 +246,13 @@ class Traffic(Workload):
     # ------------------------------------------------------------------
     def _init_vehicle(self, ptr, pos, rng) -> None:
         m = self.machine
-        c = m.allocator._canonical(int(ptr))
         lay = m.registry.layout(self.Vehicle)
-        m.heap.store(c + lay.offset("pos"), "u32", int(pos))
-        m.heap.store(c + lay.offset("vel"), "u32", int(rng.integers(1, 3)))
-        m.heap.store(c + lay.offset("rand_state"), "u32",
-                     int(rng.integers(1, 2**32 - 1)))
+        m.write_field(ptr, lay, "pos", int(pos))
+        m.write_field(ptr, lay, "vel", int(rng.integers(1, 3)))
+        m.write_field(ptr, lay, "rand_state", int(rng.integers(1, 2**32 - 1)))
 
     def _field_addr_index(self, ptr) -> int:
-        m = self.machine
-        c = m.allocator._canonical(int(ptr))
-        return int(
-            m.heap.load(c + m.registry.layout(self.Vehicle).offset("pos"), "u32")
-        )
+        return int(self.machine.read_field(ptr, self.Vehicle, "pos"))
 
     # ------------------------------------------------------------------
     def iterate(self) -> None:
@@ -284,23 +273,17 @@ class Traffic(Workload):
     def vehicle_positions(self) -> np.ndarray:
         m = self.machine
         lay = m.registry.layout(self.Vehicle)
-        out = np.empty(len(self._vehicle_ptrs), dtype=np.uint32)
-        for i, p in enumerate(self._vehicle_ptrs):
-            c = m.allocator._canonical(int(p))
-            out[i] = m.heap.load(c + lay.offset("pos"), "u32")
-        return out
+        return m.read_field(self._vehicle_ptrs, lay, "pos")
 
     def checksum(self) -> float:
         m = self.machine
         lay = m.registry.layout(self.Vehicle)
-        total = 0
-        for p in self._vehicle_ptrs:
-            c = m.allocator._canonical(int(p))
-            total += int(m.heap.load(c + lay.offset("pos"), "u32"))
-            total += 7 * int(m.heap.load(c + lay.offset("vel"), "u32"))
+        total = int(m.read_field(self._vehicle_ptrs, lay, "pos")
+                    .astype(np.int64).sum())
+        total += 7 * int(m.read_field(self._vehicle_ptrs, lay, "vel")
+                         .astype(np.int64).sum())
         sensor_lay = m.registry.layout(self.Sensor)
         for p in self.agent_ptrs:
             if m.allocator.owner_type(int(p)) is self.Sensor:
-                c = m.allocator._canonical(int(p))
-                total += 13 * int(m.heap.load(c + sensor_lay.offset("count"), "u32"))
+                total += 13 * int(m.read_field(int(p), sensor_lay, "count"))
         return float(total)

@@ -8,10 +8,11 @@ from repro import Machine, TypeDescriptor
 from repro.gpu.config import small_config
 from repro.memory.heap import Heap
 
-#: All techniques the paper evaluates (plus our prototype variants).
+#: All techniques the paper evaluates (plus our prototype variants and
+#: the DynaSOAr-family ``soa`` allocator).
 ALL_TECHNIQUES = (
     "cuda", "concord", "sharedoa", "coal", "typepointer",
-    "typepointer_proto", "typepointer_indexed", "tp_on_cuda",
+    "typepointer_proto", "typepointer_indexed", "tp_on_cuda", "soa",
 )
 
 FIG6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
@@ -124,6 +125,4 @@ def animals():
 
 
 def read_age(machine: Machine, hierarchy, ptr) -> int:
-    c = machine.allocator._canonical(int(ptr))
-    off = machine.registry.layout(hierarchy.Animal).offset("age")
-    return int(machine.heap.load(c + off, "u32"))
+    return int(machine.read_field(int(ptr), hierarchy.Animal, "age"))

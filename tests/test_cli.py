@@ -26,6 +26,31 @@ def test_disasm_concord(capsys):
     assert "CALL" not in capsys.readouterr().out
 
 
+def test_kernel_unknown_technique_exits_2_with_hint(capsys):
+    # a bad --techniques entry dies in argparse with a did-you-mean,
+    # before any machine is built or the program file is read
+    with pytest.raises(SystemExit) as excinfo:
+        main(["kernel", "examples/user_kernel.py", "--techniques", "sooa"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown technique 'sooa'" in err
+    assert "did you mean" in err and "soa" in err
+
+
+def test_fuzz_unknown_technique_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fuzz", "1", "--techniques", "cuda,bogus"])
+    assert excinfo.value.code == 2
+    assert "unknown technique 'bogus'" in capsys.readouterr().err
+
+
+def test_disasm_soa(capsys):
+    # soa reuses the embedded-vTable lowering (and is a valid target)
+    assert main(["disasm", "soa"]) == 0
+    out = capsys.readouterr().out
+    assert "CALL" in out
+
+
 def test_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["figZZZ"])
