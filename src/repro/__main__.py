@@ -19,7 +19,10 @@ Usage::
     python -m repro submit fig6 --quick        # submit to a running daemon
     python -m repro status                     # daemon queue/cache status
     python -m repro drain                      # graceful daemon shutdown
+    python -m repro cluster --workers 3        # consistent-hash cluster
+    python -m repro loadtest --users 100000    # seeded traffic + BENCH_serve
     python -m repro chaos --seeds 25           # fault-injection soak run
+    python -m repro chaos --cluster            # ...against a live cluster
 
 Every experiment is an entry in :mod:`repro.harness.registry`; the CLI
 is a registry lookup.  ``all`` goes through the parallel
@@ -57,8 +60,9 @@ EXPERIMENTS = {
     for name in experiment_names()
 }
 
-#: leading commands routed to the serving daemon's own CLI parsers
-SERVE_COMMANDS = ("serve", "submit", "status", "drain")
+#: leading commands routed to the serving layer's own CLI parsers
+SERVE_COMMANDS = ("serve", "submit", "status", "drain", "cluster",
+                  "loadtest")
 
 
 def _positive_int(text: str) -> int:
@@ -169,17 +173,34 @@ def _chaos_main(argv) -> int:
     parser.add_argument("--experiments", default=None,
                         help="comma-separated experiment ids each "
                              "scenario submits (default: init)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="soak a consistent-hash cluster instead of "
+                             "a single daemon: router-side faults plus a "
+                             "worker SIGKILL per scenario")
+    parser.add_argument("--cluster-workers", type=_positive_int, default=2,
+                        help="worker daemons per cluster scenario "
+                             "(default 2; with --cluster)")
     args = parser.parse_args(argv)
 
-    from .faults.chaos import DEFAULT_EXPERIMENTS, format_report, run_chaos
+    from .faults.chaos import (
+        DEFAULT_EXPERIMENTS,
+        format_report,
+        run_chaos,
+        run_cluster_chaos,
+    )
 
     experiments = (tuple(e for e in args.experiments.split(",") if e)
                    if args.experiments else DEFAULT_EXPERIMENTS)
     for name in experiments:
         if name not in EXPERIMENT_REGISTRY:
             parser.error(_unknown_experiment_message(name))
-    report = run_chaos(args.seeds, args.start_seed, experiments,
-                       scale=args.scale)
+    if args.cluster:
+        report = run_cluster_chaos(args.seeds, args.start_seed,
+                                   experiments, scale=args.scale,
+                                   num_workers=args.cluster_workers)
+    else:
+        report = run_chaos(args.seeds, args.start_seed, experiments,
+                           scale=args.scale)
     print(format_report(report))
     return 0 if report.ok else 1
 
@@ -204,7 +225,7 @@ def main(argv=None) -> int:
     parser.add_argument("target", nargs="?", default=None,
                         help="technique for 'disasm'; workload for 'profile' "
                              f"(techniques: {', '.join(technique_names())}); "
-                             "'service' for 'selfbench'")
+                             "'service' or 'serve' for 'selfbench'")
     parser.add_argument("--technique", default="typepointer",
                         help="technique for 'profile' (default typepointer)")
     parser.add_argument("--techniques", default=None,
@@ -261,8 +282,9 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name in experiment_names():
             print(f"{name:8s} {get_experiment(name).description}")
-        print("plus: all | disasm | profile | fuzz | selfbench [service] "
-              "| serve | submit | status | drain | chaos")
+        print("plus: all | disasm | profile | fuzz | selfbench [service|"
+              "serve] | serve | submit | status | drain | cluster | "
+              "loadtest | chaos [--cluster]")
         return 0
 
     if args.experiment == "selfbench":
@@ -282,6 +304,17 @@ def main(argv=None) -> int:
                 store_dir=args.store_dir, timeout_s=args.timeout,
             )
             print(format_service_report(report))
+            print(f"wrote {out}")
+            return 0 if report["ok"] else 1
+
+        if args.target == "serve":
+            from .harness.selfbench import DEFAULT_SERVE_OUTPUT, run_serve_bench
+            from .serve.loadtest import format_report as _format_loadtest
+
+            out = args.output or DEFAULT_SERVE_OUTPUT
+            report = run_serve_bench(
+                workers=args.workers or 3, output=out)
+            print(_format_loadtest(report))
             print(f"wrote {out}")
             return 0 if report["ok"] else 1
 

@@ -515,6 +515,41 @@ def format_service_report(report: Dict) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# serving-layer benchmark: loadtest against a private cluster
+# ----------------------------------------------------------------------
+DEFAULT_SERVE_OUTPUT = "BENCH_serve.json"
+
+
+def run_serve_bench(
+    users: int = 10_000,
+    workers: int = 3,
+    concurrency: int = 32,
+    seed: int = 7,
+    output: Optional[str] = DEFAULT_SERVE_OUTPUT,
+) -> Dict:
+    """Benchmark the serving layer under load; write ``output``.
+
+    ``python -m repro selfbench serve`` is a thin wrapper over
+    :func:`repro.serve.loadtest.run_loadtest`: it boots a private
+    consistent-hash cluster with synthetic-compute workers, replays a
+    seeded zipf schedule against it, and lands the latency/throughput
+    report next to the other ``BENCH_*`` files.
+    """
+    from ..serve.loadtest import (
+        LoadtestSpec,
+        run_loadtest,
+        write_report,
+    )
+
+    spec = LoadtestSpec(users=users, concurrency=concurrency, seed=seed)
+    report = run_loadtest(spec, num_workers=workers)
+    report["created_unix"] = time.time()
+    if output:
+        write_report(report, output)
+    return report
+
+
 def format_report(report: Dict) -> str:
     """Human-readable summary of a selfbench report."""
     lines = [

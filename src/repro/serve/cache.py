@@ -8,6 +8,7 @@ touching the worker pool at all).
 """
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
@@ -18,6 +19,12 @@ class LRUCache:
     ``capacity <= 0`` disables caching (every lookup misses); hit/miss
     totals are kept on the instance so the ``status``/``stats`` verbs
     can surface them without a separate ledger.
+
+    Thread-safe: jobs complete on executor threads (``server.py``
+    dispatch) and the cluster router shares one instance across
+    connections, so every entry/counter mutation holds an internal
+    lock -- an ``OrderedDict`` mid-``move_to_end`` is not safe to
+    mutate from a second thread.
     """
 
     def __init__(self, capacity: int = 64):
@@ -26,39 +33,46 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: str, value: Any) -> None:
-        if self.capacity <= 0:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

@@ -24,6 +24,10 @@ from typing import Any, Dict, Optional
 
 from . import protocol
 
+#: connect-phase timeout used when the instance has no configured
+#: timeout (an unconfigured client should still not hang on connect)
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
 
 class ServeError(RuntimeError):
     """Transport-level failure talking to the daemon."""
@@ -46,13 +50,26 @@ class ServeClient:
         self.timeout = timeout
 
     # ------------------------------------------------------------------
-    def _connect(self, wait_s: float = 0.0) -> socket.socket:
-        """Connect, optionally retrying a not-yet-listening daemon."""
+    def _connect(self, wait_s: float = 0.0,
+                 timeout: Optional[float] = None) -> socket.socket:
+        """Connect, optionally retrying a not-yet-listening daemon.
+
+        ``timeout`` overrides the instance receive timeout for this one
+        connection (callers with their own deadline, e.g.
+        :meth:`wait_until_ready`, bound the receive with it).  The
+        connect phase respects the same value -- falling back to
+        :data:`DEFAULT_CONNECT_TIMEOUT_S` when neither is set, so an
+        unconfigured client never hangs inside ``connect``.
+        """
         deadline = time.monotonic() + wait_s
+        recv_timeout = self.timeout if timeout is None else timeout
+        connect_timeout = (recv_timeout if recv_timeout is not None
+                           else DEFAULT_CONNECT_TIMEOUT_S)
         while True:
             try:
                 if self.socket_path:
                     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(connect_timeout)
                     try:
                         sock.connect(self.socket_path)
                     except OSError:
@@ -60,8 +77,8 @@ class ServeClient:
                         raise
                 else:
                     sock = socket.create_connection(
-                        (self.host, self.port), timeout=10.0)
-                sock.settimeout(self.timeout)
+                        (self.host, self.port), timeout=connect_timeout)
+                sock.settimeout(recv_timeout)
                 return sock
             except OSError as exc:
                 if time.monotonic() >= deadline:
@@ -76,9 +93,15 @@ class ServeClient:
         return f"tcp:{self.host}:{self.port}"
 
     def request(self, verb: str, *, wait_s: float = 0.0,
+                timeout: Optional[float] = None,
                 **fields: Any) -> Dict[str, Any]:
-        """Send one request, return the validated reply envelope."""
-        sock = self._connect(wait_s)
+        """Send one request, return the validated reply envelope.
+
+        ``timeout`` (when given) bounds this request's receive instead
+        of the instance default -- a socket timeout surfaces as
+        :class:`ServeError` like any other transport failure.
+        """
+        sock = self._connect(wait_s, timeout=timeout)
         try:
             protocol.send_frame(sock, protocol.request(verb, **fields))
             reply = protocol.recv_frame(sock)
@@ -124,5 +147,25 @@ class ServeClient:
         return self.request("experiments", wait_s=wait_s)
 
     def wait_until_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
-        """Block until the daemon answers ``health`` (or raise)."""
-        return self.health(wait_s=timeout)
+        """Block until the daemon answers ``health`` (or raise).
+
+        The whole call is bounded by ``timeout``: connect retries
+        consume the deadline *and* each receive is capped at the
+        remaining budget, so a daemon that accepts connections but
+        never replies cannot hang a client whose ``self.timeout`` is
+        None (it used to: only the connect phase was bounded).
+        """
+        deadline = time.monotonic() + timeout
+        last_exc: Optional[Exception] = None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"daemon at {self._endpoint()} not ready within "
+                    f"{timeout:.1f}s") from last_exc
+            try:
+                return self.request("health", wait_s=remaining,
+                                    timeout=max(0.05, remaining))
+            except ServeError as exc:
+                last_exc = exc
+                time.sleep(0.05)

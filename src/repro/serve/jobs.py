@@ -146,10 +146,17 @@ class Admission:
     # ------------------------------------------------------------------
     def complete(self, job: Job, result: Dict[str, Any],
                  wall_s: float) -> None:
-        """A job finished: cache its result and free its queue slot."""
+        """A job finished: publish its result, then free its queue slot.
+
+        Cache **before** popping the job table: a duplicate submit
+        racing with completion must land in one of the two lookups
+        (dedup-join while the job is still tabled, cache hit once it is
+        not).  Popping first opens a window where the key is in neither
+        and the duplicate is admitted and recomputed.
+        """
+        self.cache.put(job.key, result)
         self.jobs.pop(job.key, None)
         self.completed += 1
-        self.cache.put(job.key, result)
         self.ewma_wall_s = (wall_s if self.ewma_wall_s is None
                             else 0.7 * self.ewma_wall_s + 0.3 * wall_s)
         bucket = self.latency.setdefault(job.spec["experiment"], [0, 0.0])

@@ -46,7 +46,9 @@ _HEADER = struct.Struct(">I")
 VERBS = ("submit", "status", "health", "stats", "drain", "experiments",
          "error")
 
-#: machine-readable error codes a reply may carry
+#: machine-readable error codes a reply may carry (``no_workers`` is
+#: cluster-router-only: the hash ring is empty or failover retries ran
+#: out, so there is no daemon to route the submit to)
 ERROR_CODES = (
     "bad_request",
     "unknown_verb",
@@ -55,6 +57,7 @@ ERROR_CODES = (
     "queue_full",
     "job_failed",
     "internal_error",
+    "no_workers",
 )
 
 

@@ -81,6 +81,7 @@ class ReproServer:
         shard_timeout_s: Optional[float] = None,
         store_dir: Optional[str] = None,
         use_store: bool = True,
+        synthetic_s: Optional[float] = None,
         compute: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
     ):
         from ..harness.service import DEFAULT_TIMEOUT_S, ExperimentService
@@ -99,8 +100,14 @@ class ReproServer:
         self.admission = Admission(queue_limit=queue_limit,
                                    cache_size=cache_size,
                                    job_threads=job_threads)
-        self._compute = compute or self._service_compute
-        self._own_compute = compute is None
+        self.synthetic_s = synthetic_s
+        if compute is not None:
+            self._compute = compute
+        elif synthetic_s is not None:
+            self._compute = self._synthetic_compute
+        else:
+            self._compute = self._service_compute
+        self._own_compute = compute is None and synthetic_s is None
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, job_threads),
             thread_name_prefix="repro-serve-job",
@@ -411,6 +418,27 @@ class ReproServer:
             job.future.set_result((ok, payload))
 
         fut.add_done_callback(finish)
+
+    def _synthetic_compute(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Loadtest stand-in for the simulator: deterministic cost.
+
+        Sleeps ``synthetic_s`` scaled by a stable per-key factor in
+        [0.5, 1.5) -- distinct job keys get distinct but reproducible
+        costs -- and echoes the spec.  The whole admission path (dedup,
+        cache, backpressure, EWMA ``retry_after``) is exercised for
+        real; only the experiment computation is faked, so the cluster
+        loadtest measures the *serving* layer, not the simulator.
+        """
+        import zlib
+
+        key = job_key(spec)
+        factor = 0.5 + (zlib.crc32(key.encode("utf-8")) % 1000) / 1000.0
+        time.sleep(self.synthetic_s * factor)
+        return {
+            "rendered": (f"synthetic:{spec['experiment']}"
+                         f":{spec['seed']}:{spec['scale']}"),
+            "synthetic": True,
+        }
 
     def _service_compute(self, spec: Dict[str, Any]) -> Dict[str, Any]:
         """Default compute: one experiment through the service pool."""

@@ -1,0 +1,165 @@
+"""The loadtest harness: schedule determinism, zipf shape, reports."""
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.serve import ReproServer
+from repro.serve.loadtest import (
+    LoadtestSpec,
+    _Tally,
+    build_report,
+    generate_schedule,
+    percentile,
+    run_loadtest,
+    validate_loadtest_report,
+)
+
+
+# ----------------------------------------------------------------------
+# generator determinism + shape
+# ----------------------------------------------------------------------
+def test_schedule_is_deterministic_for_a_seed():
+    spec = LoadtestSpec(users=500, seed=42, rate=100.0, burst_prob=0.2)
+    assert generate_schedule(spec) == generate_schedule(spec)
+    other = generate_schedule(LoadtestSpec(users=500, seed=43,
+                                           rate=100.0, burst_prob=0.2))
+    assert generate_schedule(spec) != other
+
+
+def test_schedule_zipf_popularity_is_head_heavy():
+    spec = LoadtestSpec(users=2000, seed=7, zipf_alpha=1.3,
+                        key_space=32, burst_prob=0.0)
+    counts = Counter(r.seed for r in generate_schedule(spec))
+    # rank 0 (seed 1000) dominates and every seed stays in the universe
+    hottest = counts.most_common(1)[0]
+    assert hottest[0] == 1000
+    assert hottest[1] >= 3 * counts.get(1000 + 10, 1)
+    assert all(1000 <= s < 1000 + 32 for s in counts)
+
+
+def test_schedule_bursts_duplicate_at_the_same_arrival():
+    spec = LoadtestSpec(users=40, seed=3, burst_prob=1.0, burst_size=4,
+                        rate=50.0)
+    schedule = generate_schedule(spec)
+    assert len(schedule) == 40
+    assert all(r.burst for r in schedule)
+    # each burst is burst_size identical requests at one offset
+    by_offset = Counter((r.offset_s, r.seed) for r in schedule)
+    sizes = set(by_offset.values())
+    assert sizes <= {4, 40 % 4 or 4}
+    # the trailing burst may be truncated to hit users exactly
+    assert sum(by_offset.values()) == 40
+
+
+def test_schedule_open_loop_offsets_are_monotonic():
+    spec = LoadtestSpec(users=200, seed=9, rate=250.0, burst_prob=0.1)
+    schedule = generate_schedule(spec)
+    offsets = [r.offset_s for r in schedule]
+    assert offsets == sorted(offsets)
+    assert offsets[-1] > 0
+    closed = generate_schedule(LoadtestSpec(users=50, seed=9))
+    assert all(r.offset_s == 0.0 for r in closed)
+
+
+def test_percentile_helper():
+    values = sorted([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.5) == 3.0
+    assert percentile(values, 1.0) == 5.0
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+
+
+# ----------------------------------------------------------------------
+# report schema
+# ----------------------------------------------------------------------
+def _fabricated_report():
+    spec = LoadtestSpec(users=4)
+    tally = _Tally()
+    tally.record("computed", 0.010)
+    tally.record("cached", 0.002)
+    tally.record("dedup", 0.004)
+    tally.record("shed", 0.001)
+    return build_report(spec, tally, wall_s=0.5)
+
+
+def test_build_report_validates_and_counts():
+    report = _fabricated_report()
+    validate_loadtest_report(report)
+    assert report["requests"] == 4
+    assert report["completed"] == 4 and report["failed"] == 0
+    assert report["shed_fraction"] == 0.25
+    assert report["latency_s"]["p50"] <= report["latency_s"]["p99"]
+    assert report["ok"] is True
+
+
+def test_validate_loadtest_report_rejects_corruption():
+    report = _fabricated_report()
+    bad = dict(report, schema="nope/1")
+    with pytest.raises(ValueError, match="not a repro-loadtest/1"):
+        validate_loadtest_report(bad)
+    bad = dict(report)
+    del bad["latency_s"]
+    with pytest.raises(ValueError, match="lacks 'latency_s'"):
+        validate_loadtest_report(bad)
+    bad = dict(report,
+               latency_s=dict(report["latency_s"], p50=9.9))
+    with pytest.raises(ValueError, match="not monotonic"):
+        validate_loadtest_report(bad)
+    bad = dict(report, outcomes={"computed": 1})
+    with pytest.raises(ValueError, match="outcomes sum"):
+        validate_loadtest_report(bad)
+
+
+# ----------------------------------------------------------------------
+# end to end against an attached daemon
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def one_daemon(tmp_path):
+    sock = str(tmp_path / "serve.sock")
+
+    def compute(spec):
+        time.sleep(0.002)
+        return {"rendered": f"r:{spec['experiment']}:{spec['seed']}"}
+
+    server = ReproServer(socket_path=sock, compute=compute,
+                         use_store=False, queue_limit=64, cache_size=256,
+                         job_threads=4)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.ready.wait(10)
+    try:
+        yield sock
+    finally:
+        server.request_shutdown()
+        thread.join(20)
+
+
+def test_run_loadtest_against_attached_daemon(tmp_path):
+    spec = LoadtestSpec(users=120, concurrency=8, seed=11,
+                        key_space=16, burst_prob=0.2)
+    with one_daemon(tmp_path) as sock:
+        report = run_loadtest(spec, endpoint={"socket_path": sock})
+    validate_loadtest_report(report)
+    assert report["requests"] == 120
+    assert report["failed"] == 0 and report["ok"] is True
+    # zipf + bursts must exercise the daemon's collapse paths
+    outcomes = report["outcomes"]
+    assert outcomes.get("computed", 0) <= 16
+    assert outcomes.get("cached", 0) + outcomes.get("dedup", 0) > 0
+    assert report["cache_hit_rate"] + report["dedup_rate"] > 0
+    assert report["throughput_rps"] > 0
+    assert report["cluster"] == {}      # attach mode: no cluster block
+
+
+def test_run_loadtest_kill_requires_a_booted_cluster(tmp_path):
+    spec = LoadtestSpec(users=4, concurrency=2)
+    with one_daemon(tmp_path) as sock:
+        with pytest.raises(ValueError, match="booted cluster"):
+            run_loadtest(spec, endpoint={"socket_path": sock},
+                         kill_after_requests=1)

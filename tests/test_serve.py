@@ -43,6 +43,43 @@ def test_lru_cache_capacity_zero_disables():
     assert len(cache) == 0
 
 
+def test_lru_cache_concurrent_get_put_stress():
+    """Regression: unlocked OrderedDict mutation from executor threads.
+
+    8 threads hammer one cache with interleaved get/put; without the
+    internal lock this corrupts the OrderedDict (KeyError/RuntimeError
+    out of move_to_end/popitem) and loses counter increments.
+    """
+    cache = LRUCache(capacity=32)
+    errors = []
+    n_threads, ops = 8, 3000
+
+    def hammer(tid):
+        try:
+            for i in range(ops):
+                key = f"k{(tid * ops + i * 7) % 96}"
+                if i % 3 == 0:
+                    cache.put(key, i)
+                else:
+                    cache.get(key)
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert not errors, errors
+    stats = cache.stats()
+    assert stats["size"] <= 32
+    # every get incremented exactly one of hits/misses
+    total_gets = sum(1 for t in range(n_threads) for i in range(ops)
+                     if i % 3 != 0)
+    assert stats["hits"] + stats["misses"] == total_gets
+
+
 def test_job_key_canonical():
     spec = {"experiment": "fig6", "scale": 0.1, "seed": 7,
             "quick": True, "params": {"b": 2, "a": 1}}
@@ -51,6 +88,44 @@ def test_job_key_canonical():
     assert job_key(spec) == job_key(reordered)
     assert job_key(spec) != job_key({**spec, "scale": 0.2})
     assert job_key(spec) != job_key({**spec, "params": {"a": 1}})
+
+
+def test_admission_complete_caches_before_freeing_the_slot():
+    """Regression: ``complete`` popped the job before caching, so a
+    duplicate submit racing in that window found the key in neither the
+    job table nor the cache and was admitted for a full recompute.  The
+    probe cache asserts the job is still tabled at ``put`` time: at no
+    observable point is the key unclaimed."""
+
+    class ProbeCache(LRUCache):
+        def __init__(self, adm_box):
+            super().__init__(capacity=4)
+            self.adm_box = adm_box
+            self.put_seen_tabled = None
+
+        def put(self, key, value):
+            # a racing decide() here must dedup-join (key still tabled)
+            # or -- after super().put -- hit the cache; never re-admit
+            self.put_seen_tabled = key in self.adm_box["adm"].jobs
+            super().put(key, value)
+
+    async def scenario():
+        box = {}
+        adm = Admission(queue_limit=4, cache_size=4)
+        box["adm"] = adm
+        adm.cache = ProbeCache(box)
+        spec = {"experiment": "fig6"}
+        decision = adm.decide("k1", spec)
+        assert decision.kind == "admitted"
+        adm.complete(decision.job, {"rendered": "r"}, wall_s=0.1)
+        assert adm.cache.put_seen_tabled is True
+        # post-conditions: slot freed, result served from the cache
+        assert "k1" not in adm.jobs
+        assert adm.decide("k1", spec).kind == "cached"
+
+    import asyncio
+
+    asyncio.run(scenario())
 
 
 def test_admission_retry_after_tracks_latency():
@@ -257,6 +332,89 @@ def test_drain_finishes_inflight_then_refuses_submits(tmp_path):
     # the daemon is gone: connections now fail
     with pytest.raises(ServeError):
         ServeClient(socket_path=str(tmp_path / "serve.sock")).health()
+
+
+# ----------------------------------------------------------------------
+# client timeout contract (regression: hardcoded/unbounded waits)
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def silent_listener(tmp_path=None):
+    """A server that accepts connections but never replies.
+
+    Yields a (host, port, socket_path) triple; socket_path is None in
+    TCP mode.  Models a hung daemon for the timeout regressions.
+    """
+    import socket as socket_mod
+
+    if tmp_path is not None:
+        path = str(tmp_path / "silent.sock")
+        srv = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        srv.bind(path)
+    else:
+        path = None
+        srv = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        srv.bind(("127.0.0.1", 0))
+    srv.listen(8)
+    srv.settimeout(0.1)
+    accepted = []
+    stop = threading.Event()
+
+    def accept_loop():
+        while not stop.is_set():
+            try:
+                conn, _ = srv.accept()
+            except OSError:
+                continue
+            accepted.append(conn)         # hold it open, never reply
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    try:
+        if path is None:
+            yield srv.getsockname()[0], srv.getsockname()[1], None
+        else:
+            yield None, None, path
+    finally:
+        stop.set()
+        thread.join(5)
+        for conn in accepted:
+            conn.close()
+        srv.close()
+
+
+def test_client_receive_respects_instance_timeout_unix(tmp_path):
+    """Regression: the receive must honor ``self.timeout`` -- a hung
+    daemon bounds the request at the configured timeout, not forever."""
+    with silent_listener(tmp_path) as (_, _, path):
+        client = ServeClient(socket_path=path, timeout=0.3)
+        t0 = time.monotonic()
+        with pytest.raises(ServeError):
+            client.health()
+        assert time.monotonic() - t0 < 5.0
+
+
+def test_client_connect_respects_instance_timeout_tcp():
+    """Regression: ``socket.create_connection`` hardcoded a 10s connect
+    timeout, ignoring the configured ``self.timeout`` on the TCP path."""
+    with silent_listener() as (host, port, _):
+        client = ServeClient(host=host, port=port, timeout=0.3)
+        t0 = time.monotonic()
+        with pytest.raises(ServeError):
+            client.status()
+        assert time.monotonic() - t0 < 5.0
+
+
+def test_wait_until_ready_bounds_the_receive(tmp_path):
+    """Regression: with ``self.timeout is None``, wait_until_ready only
+    bounded *connect* retries -- a daemon that accepted but never
+    replied hung the client forever.  The receive now consumes the same
+    deadline."""
+    with silent_listener(tmp_path) as (_, _, path):
+        client = ServeClient(socket_path=path, timeout=None)
+        t0 = time.monotonic()
+        with pytest.raises(ServeError, match="not ready|closed|connect"):
+            client.wait_until_ready(1.0)
+        assert time.monotonic() - t0 < 6.0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,289 @@
+"""The cluster layer: hash ring, router, failover, shedding."""
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.serve import ClusterRouter, HashRing, ReproServer, ServeClient
+from repro.serve.cluster import WorkerConfig
+
+
+# ----------------------------------------------------------------------
+# hash ring units
+# ----------------------------------------------------------------------
+def test_ring_lookup_is_deterministic_across_instances():
+    a = HashRing(("w0", "w1", "w2"))
+    b = HashRing(("w2", "w0", "w1"))    # insertion order must not matter
+    keys = [f"key-{i}" for i in range(200)]
+    assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+
+def test_ring_spreads_keys_over_all_workers():
+    ring = HashRing(("w0", "w1", "w2"))
+    owners = {ring.lookup(f"key-{i}") for i in range(500)}
+    assert owners == {"w0", "w1", "w2"}
+
+
+def test_ring_remove_only_remaps_the_lost_arc():
+    """Consistent-hashing stability: dropping one worker must not move
+    any key that it did not own -- the survivors keep their (warm-cache)
+    key sets intact."""
+    ring = HashRing(("w0", "w1", "w2"))
+    keys = [f"key-{i}" for i in range(1000)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove("w1")
+    for k in keys:
+        after = ring.lookup(k)
+        if before[k] == "w1":
+            assert after in ("w0", "w2")
+        else:
+            assert after == before[k], (
+                f"{k} moved {before[k]} -> {after} though w1 owned "
+                f"neither")
+
+
+def test_ring_add_only_steals_from_existing_arcs():
+    ring = HashRing(("w0", "w1"))
+    keys = [f"key-{i}" for i in range(1000)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("w2")
+    moved = {k for k in keys if ring.lookup(k) != before[k]}
+    # everything that moved now belongs to the newcomer, and it got a
+    # non-trivial share
+    assert moved and all(ring.lookup(k) == "w2" for k in moved)
+    # re-removing the newcomer restores the original assignment exactly
+    ring.remove("w2")
+    assert {k: ring.lookup(k) for k in keys} == before
+
+
+def test_ring_empty_and_membership():
+    ring = HashRing()
+    assert ring.lookup("anything") is None
+    ring.add("w0")
+    assert "w0" in ring and len(ring) == 1
+    ring.add("w0")                      # idempotent
+    assert len(ring) == 1
+    ring.remove("w0")
+    assert ring.lookup("anything") is None
+
+
+# ----------------------------------------------------------------------
+# router over attached in-process daemons
+# ----------------------------------------------------------------------
+class TaggedCompute:
+    """Worker-identifying compute: the reply names the worker that ran
+    it, so tests can observe routing from the outside."""
+
+    def __init__(self, tag: str, delay: float = 0.0):
+        self.tag = tag
+        self.delay = delay
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def __call__(self, spec):
+        with self._lock:
+            self.calls.append((spec["experiment"], spec["seed"]))
+        if self.delay:
+            time.sleep(self.delay)
+        return {"rendered": f"{self.tag}:{spec['experiment']}"
+                            f":{spec['seed']}"}
+
+
+@contextlib.contextmanager
+def attached_cluster(tmp_path, n=2, delay=0.0, **server_kw):
+    """n in-thread daemons + a router attached to their sockets."""
+    servers, threads, socks, computes = [], [], {}, {}
+    for i in range(n):
+        wid = f"w{i}"
+        sock = str(tmp_path / f"{wid}.sock")
+        compute = TaggedCompute(wid, delay=delay)
+        server = ReproServer(socket_path=sock, compute=compute,
+                             use_store=False, **server_kw)
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        assert server.ready.wait(10), f"daemon {wid} never started"
+        servers.append(server)
+        threads.append(thread)
+        socks[wid] = sock
+        computes[wid] = compute
+    rsock = str(tmp_path / "router.sock")
+    router = ClusterRouter(socket_path=rsock, attach=socks)
+    rc = {}
+    rthread = threading.Thread(
+        target=lambda: rc.setdefault("code", router.run()), daemon=True)
+    rthread.start()
+    assert router.ready.wait(30), "router never became ready"
+    try:
+        yield router, servers, computes, ServeClient(socket_path=rsock), rc
+    finally:
+        router.request_shutdown()
+        rthread.join(30)
+        assert not rthread.is_alive(), "router failed to drain"
+        for server in servers:
+            server.request_shutdown()
+        for thread in threads:
+            thread.join(20)
+
+
+def test_router_routes_consistently_and_tags_the_worker(tmp_path):
+    with attached_cluster(tmp_path, n=2) as (router, _, _, client, _):
+        first = client.submit("init", seed=1, quick=True, scale=0.05)
+        again = client.submit("init", seed=1, quick=True, scale=0.05)
+        assert first["ok"] and again["ok"]
+        # same job key -> same worker, and the repeat is a cache hit
+        # on that worker (the ring preserved its locality)
+        assert first["worker"] == again["worker"]
+        assert again["outcome"] == "cached"
+        assert first["rendered"] == again["rendered"]
+        assert first["rendered"].startswith(first["worker"] + ":")
+
+
+def test_router_spreads_distinct_keys_over_workers(tmp_path):
+    with attached_cluster(tmp_path, n=2) as (router, _, computes,
+                                             client, _):
+        workers_seen = set()
+        for seed in range(24):
+            reply = client.submit("init", seed=seed, quick=True,
+                                  scale=0.05)
+            assert reply["ok"], reply
+            workers_seen.add(reply["worker"])
+            # the reply really came from the worker the router named
+            assert reply["rendered"].startswith(reply["worker"] + ":")
+        assert workers_seen == {"w0", "w1"}
+        # each worker computed exactly the keys routed to it
+        for wid, compute in computes.items():
+            assert compute.calls, f"{wid} computed nothing"
+
+
+def test_router_preserves_dedup_join_across_duplicates(tmp_path):
+    with attached_cluster(tmp_path, n=2, delay=0.8) as (
+            router, _, computes, client, _):
+        sock = str(tmp_path / "router.sock")
+        replies = [None] * 4
+
+        def go(i):
+            c = ServeClient(socket_path=sock)
+            replies[i] = c.submit("init", seed=3, quick=True, scale=0.05)
+
+        threads = [threading.Thread(target=go, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert all(r and r["ok"] for r in replies), replies
+        # all four landed on one worker and collapsed to one computation
+        assert len({r["worker"] for r in replies}) == 1
+        total_calls = sum(len(c.calls) for c in computes.values())
+        assert total_calls == 1
+        outcomes = sorted(r["outcome"] for r in replies)
+        assert outcomes == ["computed", "dedup", "dedup", "dedup"]
+
+
+def test_router_sheds_at_the_front_after_worker_backpressure(tmp_path):
+    with attached_cluster(tmp_path, n=1, delay=2.0, queue_limit=1,
+                          job_threads=1) as (router, _, _, client, _):
+        sock = str(tmp_path / "router.sock")
+        background = threading.Thread(
+            target=lambda: ServeClient(socket_path=sock).submit(
+                "init", seed=1, quick=True, scale=0.05),
+            daemon=True)
+        background.start()
+        time.sleep(0.4)                  # seed=1 is now occupying the slot
+        first = client.submit("init", seed=2, quick=True, scale=0.05)
+        assert first["ok"] is False and first["error"] == "queue_full"
+        assert first.get("shed_by") != "router"     # the worker said no
+        assert first["retry_after"] > 0
+        # the router remembered the backpressure window: the next submit
+        # for that arc is shed at the front without touching the worker
+        second = client.submit("init", seed=4, quick=True, scale=0.05)
+        assert second["ok"] is False and second["error"] == "queue_full"
+        assert second.get("shed_by") == "router"
+        assert second["retry_after"] > 0
+        assert router.shed >= 1
+        background.join(15)
+
+
+def test_router_fails_over_when_an_attached_worker_dies(tmp_path):
+    with attached_cluster(tmp_path, n=2) as (router, servers, _,
+                                             client, _):
+        # learn which worker owns each seed, then kill one worker
+        owner = {}
+        for seed in range(12):
+            reply = client.submit("init", seed=seed, quick=True,
+                                  scale=0.05)
+            owner[seed] = reply["worker"]
+        assert set(owner.values()) == {"w0", "w1"}
+        servers[0].request_shutdown()            # w0 goes away
+        # every key -- including w0's -- still gets an answer, now from
+        # w1: the router sees the drain (or the closed socket), evicts
+        # w0 from the ring and resubmits transparently
+        for seed in range(12):
+            reply = client.submit("init", seed=seed, quick=True,
+                                  scale=0.05)
+            assert reply["ok"], reply
+            assert reply["worker"] == "w1"
+        assert router.worker_deaths >= 1
+
+
+def test_router_status_aggregates_workers(tmp_path):
+    with attached_cluster(tmp_path, n=2) as (router, _, _, client, _):
+        for seed in range(6):
+            assert client.submit("init", seed=seed, quick=True,
+                                 scale=0.05)["ok"]
+        status = client.status()
+        assert status["ok"] is True
+        assert status["jobs_completed"] == 6
+        assert status["jobs_admitted"] == 6
+        cluster = status["cluster"]
+        assert cluster["ring"] == ["w0", "w1"]
+        assert cluster["routed"] == 6
+        assert set(status["workers"]) == {"w0", "w1"}
+        assert all(w["alive"] for w in status["workers"].values())
+        health = client.health()
+        assert health["ok"] is True and health["workers_on_ring"] == 2
+
+
+# ----------------------------------------------------------------------
+# spawn mode: real subprocess workers under supervision
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_spawned_cluster_restarts_a_killed_worker_and_drains(tmp_path):
+    router = ClusterRouter(
+        num_workers=2,
+        socket_path=str(tmp_path / "router.sock"),
+        worker_dir=str(tmp_path / "workers"),
+        worker_config=WorkerConfig(synthetic_s=0.005, use_store=False),
+    )
+    rc = {}
+    thread = threading.Thread(
+        target=lambda: rc.setdefault("code", router.run()), daemon=True)
+    thread.start()
+    assert router.ready.wait(120), "spawned cluster never became ready"
+    try:
+        client = ServeClient(socket_path=str(tmp_path / "router.sock"),
+                             timeout=60.0)
+        for seed in range(8):
+            assert client.submit("init", seed=seed, quick=True,
+                                 scale=0.05)["ok"]
+        killed = router.kill_worker()
+        assert killed in ("w0", "w1")
+        deadline = time.monotonic() + 60.0
+        while ((router.worker_restarts < 1 or len(router.ring) < 2)
+               and time.monotonic() < deadline):
+            time.sleep(0.1)
+        assert router.worker_deaths >= 1
+        assert router.worker_restarts >= 1
+        assert len(router.ring) == 2, "killed worker never rejoined"
+        # the cluster still answers for every key after the restart
+        for seed in range(8):
+            assert client.submit("init", seed=seed, quick=True,
+                                 scale=0.05)["ok"]
+    finally:
+        router.request_shutdown()
+        thread.join(120)
+    assert not thread.is_alive(), "cluster failed to drain"
+    assert rc["code"] == 0
