@@ -23,6 +23,9 @@ Usage::
     python -m repro loadtest --users 100000    # seeded traffic + BENCH_serve
     python -m repro chaos --seeds 25           # fault-injection soak run
     python -m repro chaos --cluster            # ...against a live cluster
+    python -m repro sweep run spec.json        # characterization sweep
+    python -m repro sweep query --where model_tlb=true   # query the DB
+    python -m repro fig6 --config l1.size_bytes=8192     # knob override
 
 Every experiment is an entry in :mod:`repro.harness.registry`; the CLI
 is a registry lookup.  ``all`` goes through the parallel
@@ -97,7 +100,7 @@ def _unknown_experiment_message(name: str) -> str:
 
     known = list(experiment_names()) + [
         "all", "list", "disasm", "profile", "fuzz", "selfbench", "chaos",
-        *SERVE_COMMANDS,
+        "sweep", *SERVE_COMMANDS,
     ]
     msg = f"unknown experiment {name!r}"
     close = difflib.get_close_matches(name, known, n=3)
@@ -106,12 +109,41 @@ def _unknown_experiment_message(name: str) -> str:
     return msg + " (see 'python -m repro list')"
 
 
+def _config_from(args, parser) -> object:
+    """Build a knob-overridden GPUConfig from repeated ``--config K=V``.
+
+    Shares the sweep engine's override path (``config_with_knobs``), so
+    dotted cache-geometry knobs, did-you-mean hints, and geometry
+    re-validation behave identically in both.
+    """
+    if not getattr(args, "config", None):
+        return None
+    import json as _json
+
+    from .gpu.config import config_with_knobs
+
+    knobs = {}
+    for item in args.config:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            parser.error(f"--config expects KNOB=VALUE, got {item!r}")
+        try:
+            knobs[key] = _json.loads(value)
+        except _json.JSONDecodeError:
+            knobs[key] = value
+    try:
+        return config_with_knobs(scaled_config(), knobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def _options_from(args) -> ExperimentOptions:
     workloads = (tuple(w for w in args.workloads.split(",") if w)
                  if args.workloads else None)
     return ExperimentOptions(
         scale=args.scale,
         workloads=workloads,
+        config=getattr(args, "config_obj", None),
         params=SMOKE_PARAMS if args.quick else {},
     )
 
@@ -213,6 +245,10 @@ def main(argv=None) -> int:
         return serve_cli_main(argv)
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from .sweep.cli import sweep_cli_main
+
+        return sweep_cli_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -235,6 +271,11 @@ def main(argv=None) -> int:
     parser.add_argument("--frontend", action="store_true",
                         help="for 'fuzz': lower the generated programs "
                              "through the device_class/@kernel front-end")
+    parser.add_argument("--config", action="append", metavar="KNOB=V",
+                        help="GPU config knob override (repeatable; "
+                             "dotted keys reach cache geometry, e.g. "
+                             "--config l1.size_bytes=8192 "
+                             "--config model_tlb=false)")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="workload scale factor (default 0.25)")
     parser.add_argument("--workloads", default=None,
@@ -270,6 +311,7 @@ def main(argv=None) -> int:
                         help="timing repeats per cell for 'selfbench' "
                              "(fastest kept; default 1)")
     args = parser.parse_args(argv)
+    args.config_obj = _config_from(args, parser)
 
     def _validated_techniques(csv: str) -> tuple:
         """Resolve a comma-separated technique list or exit 2 with hints."""
@@ -284,7 +326,8 @@ def main(argv=None) -> int:
             print(f"{name:8s} {get_experiment(name).description}")
         print("plus: all | disasm | profile | fuzz | selfbench [service|"
               "serve] | serve | submit | status | drain | cluster | "
-              "loadtest | chaos [--cluster]")
+              "loadtest | chaos [--cluster] | sweep "
+              "[run|ls|show|query|report|import]")
         return 0
 
     if args.experiment == "selfbench":
@@ -403,7 +446,7 @@ def main(argv=None) -> int:
             technique = resolve_technique(args.technique).name
         except UnknownTechniqueError as exc:
             parser.error(str(exc))
-        m = Machine(technique, config=scaled_config())
+        m = Machine(technique, config=args.config_obj or scaled_config())
         wl = make_workload(args.target or "TRAF", m, scale=args.scale)
         wl.run()
         print(profile_report(

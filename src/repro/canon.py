@@ -1,0 +1,51 @@
+"""Canonical JSON encoding shared by every content-addressed identity.
+
+The serving layer's dedup/cache key (:func:`repro.serve.jobs.job_key`)
+and the sweep engine's point IDs (:mod:`repro.sweep.spec`) both need
+the same property: two specs that describe the same computation must
+encode to the same bytes, regardless of dict insertion order or
+``2``-vs-``2.0`` re-encodings.  This module is that one definition --
+``job_key`` and ``point_id`` are both thin wrappers over
+:func:`canonical_json`.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canon(value: Any) -> Any:
+    """Canonical form of one spec value for keying.
+
+    JSON distinguishes ``2`` from ``2.0``, but the computations keyed
+    here do not (a scale of 2 and 2.0 run identically), so integral
+    floats within the exactly-representable range collapse to ints;
+    containers canonicalize recursively with string keys (what JSON
+    round-tripping would produce anyway).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer() and abs(value) <= 2 ** 53:
+            return int(value)
+        return value
+    if isinstance(value, dict):
+        return {str(k): canon(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canon(v) for v in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Sorted-key, separator-free JSON dump of ``canon(value)``."""
+    return json.dumps(canon(value), sort_keys=True, separators=(",", ":"))
+
+
+def content_id(value: Any, *, digest_size: int = 8) -> str:
+    """Short stable hex digest of a spec value (blake2b over the
+    canonical JSON); the same resolved spec always gets the same id."""
+    return hashlib.blake2b(canonical_json(value).encode("utf-8"),
+                           digest_size=digest_size).hexdigest()

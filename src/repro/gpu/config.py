@@ -8,7 +8,8 @@ Absolute numbers are not the goal (see DESIGN.md section 5); the
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -119,6 +120,90 @@ class GPUConfig:
 
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / (self.core_clock_ghz * 1e9)
+
+    # ------------------------------------------------------------------
+    # validated overrides: the one path sweep points and the CLI's
+    # ``--config k=v`` both go through
+    # ------------------------------------------------------------------
+    def with_overrides(self, **knobs: Any) -> "GPUConfig":
+        """A copy with ``knobs`` replaced, rejecting unknown names.
+
+        Unknown field names raise ``ValueError`` with did-you-mean
+        hints; ``l1``/``l2`` accept either a :class:`CacheGeometry` or
+        a mapping of geometry fields (missing fields keep the current
+        geometry's values), and constructing the geometry re-runs its
+        size/line/associativity divisibility checks.
+        """
+        import difflib
+
+        known = {f.name for f in fields(self)}
+        resolved: dict = {}
+        for name, value in knobs.items():
+            if name not in known:
+                msg = f"unknown GPUConfig knob {name!r}"
+                close = difflib.get_close_matches(name, sorted(known), n=3)
+                if close:
+                    msg += f"; did you mean: {', '.join(close)}?"
+                raise ValueError(msg)
+            if name in ("l1", "l2") and isinstance(value, Mapping):
+                geo_known = {f.name for f in fields(CacheGeometry)}
+                bad = sorted(set(value) - geo_known)
+                if bad:
+                    raise ValueError(
+                        f"unknown CacheGeometry field(s) {bad} for "
+                        f"{name!r}; known: {', '.join(sorted(geo_known))}")
+                value = replace(getattr(self, name), **dict(value))
+            resolved[name] = value
+        return replace(self, **resolved)
+
+
+#: dotted sweep knobs reach into these nested geometries
+_NESTED_KNOBS = ("l1", "l2")
+
+
+def base_configs() -> dict:
+    """Named base configurations a sweep spec / CLI may start from."""
+    return {
+        "scaled": scaled_config,
+        "small": small_config,
+        "v100": GPUConfig,
+    }
+
+
+def config_with_knobs(base: GPUConfig,
+                      knobs: Mapping[str, Any]) -> GPUConfig:
+    """Apply a flat knob mapping (dotted keys reach into l1/l2).
+
+    ``{"l1.size_bytes": 8192, "model_tlb": True}`` becomes a validated
+    :meth:`GPUConfig.with_overrides` call; unless the mapping sets
+    ``name`` explicitly the result is renamed ``<base>+<hash>`` so two
+    different knob sets can never share a replay-store bucket or a
+    runner cache key.
+    """
+    from ..canon import content_id
+
+    flat: dict = {}
+    nested: dict = {}
+    for key, value in knobs.items():
+        if "." in key:
+            prefix, _, leaf = key.partition(".")
+            if prefix not in _NESTED_KNOBS:
+                raise ValueError(
+                    f"unknown nested knob {key!r}; dotted knobs must "
+                    f"start with one of: {', '.join(_NESTED_KNOBS)}")
+            nested.setdefault(prefix, {})[leaf] = value
+        else:
+            flat[key] = value
+    for prefix, leaves in nested.items():
+        if prefix in flat:
+            raise ValueError(
+                f"knob {prefix!r} given both whole ({prefix}=...) and "
+                f"dotted ({prefix}.field=...) -- pick one form")
+        flat[prefix] = leaves
+    cfg = base.with_overrides(**flat)
+    if "name" not in flat and knobs:
+        cfg = replace(cfg, name=f"{base.name}+{content_id(dict(knobs))}")
+    return cfg
 
 
 def scaled_config() -> GPUConfig:

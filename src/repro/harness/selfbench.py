@@ -28,7 +28,6 @@ block; the CLI exit code enforces it).
 """
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import replace
@@ -39,6 +38,7 @@ from ..gpu.config import GPUConfig, scaled_config
 from ..gpu.machine import FIGURE6_TECHNIQUES, Machine
 from ..gpu.replay import ENGINE_ENV_VAR, ENGINES
 from ..workloads import make_workload, workload_names
+from .export import write_json_atomic
 from .runner import geomean
 
 #: json schema tag, bumped when the layout changes
@@ -336,9 +336,7 @@ def run_selfbench(
         "failpoint_overhead": fp_overhead,
     }
     if output:
-        with open(output, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=False)
-            f.write("\n")
+        write_json_atomic(report, output)
     return report
 
 
@@ -480,9 +478,7 @@ def run_service_bench(
         "ok": renders_match and warm_hit,
     }
     if output:
-        with open(output, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=False)
-            f.write("\n")
+        write_json_atomic(report, output)
     return report
 
 

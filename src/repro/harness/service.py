@@ -610,6 +610,31 @@ class ExperimentService:
             self.write_manifest(manifest_path, manifest)
         return run
 
+    def run_point_shards(
+        self,
+        payloads: Sequence[Dict],
+        labels: Sequence[str],
+        *,
+        worker: Optional[Callable[[Dict], Dict]] = None,
+    ) -> Tuple[List[Dict], List[ShardReport]]:
+        """Fan arbitrary cell payloads through the pool (sweep entry).
+
+        The sweep driver builds its own payloads (per-point configs,
+        scopes, seeds) and cares about per-point isolation rather than
+        cache seeding, so this skips ``_missing_cells``/``cache_put``
+        and just runs the shards, absorbing telemetry and outcome
+        counters into the parent registry exactly like ``run``.
+        """
+        worker = worker or _service_worker
+        with self._lock:
+            values, reports = run_shards(
+                payloads, worker,
+                num_workers=self.num_workers, timeout_s=self.timeout_s,
+                labels=list(labels), kinds=["cell"] * len(payloads),
+            )
+            self._absorb_shard_telemetry(reports, values)
+        return values, reports
+
     def warm_cells(
         self,
         names: Optional[Sequence[str]] = None,
@@ -724,12 +749,7 @@ class ExperimentService:
 
     @staticmethod
     def write_manifest(path, manifest: Dict) -> None:
-        import json
-        from pathlib import Path
+        from .export import write_json_atomic
 
         validate_manifest(manifest)
-        p = Path(path)
-        p.parent.mkdir(parents=True, exist_ok=True)
-        with open(p, "w") as f:
-            json.dump(manifest, f, indent=2)
-            f.write("\n")
+        write_json_atomic(manifest, path)

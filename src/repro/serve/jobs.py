@@ -19,10 +19,10 @@ number of executor threads.
 from __future__ import annotations
 
 import asyncio
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from ..canon import canonical_json
 from .cache import LRUCache
 
 #: default bound on distinct queued+running jobs
@@ -32,50 +32,24 @@ DEFAULT_QUEUE_LIMIT = 16
 _COLD_RETRY_AFTER_S = 5.0
 
 
-def _canon(value: Any) -> Any:
-    """Canonical form of one spec value for keying.
-
-    JSON distinguishes ``2`` from ``2.0``, but the computation does not
-    (a scale of 2 and 2.0 run identically), so integral floats within
-    the exactly-representable range collapse to ints; containers
-    canonicalize recursively with string keys (what JSON round-tripping
-    would produce anyway).
-    """
-    if isinstance(value, bool) or value is None or isinstance(value, str):
-        return value
-    if isinstance(value, int):
-        return value
-    if isinstance(value, float):
-        if value.is_integer() and abs(value) <= 2 ** 53:
-            return int(value)
-        return value
-    if isinstance(value, dict):
-        return {str(k): _canon(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_canon(v) for v in value]
-    return value
-
-
 def job_key(spec: Dict[str, Any]) -> str:
     """Canonical dedup/cache key for one submit spec.
 
     The spec fields (experiment, params, scale, seed, quick) fully
     determine the computation -- the daemon runs one registry under one
-    GPU config -- so a canonicalized, sorted-key JSON dump is a stable
-    identity: param insertion order and equal-value re-encodings
-    (``2`` vs ``2.0``) cannot split the dedup/cache key.
+    GPU config -- so a canonicalized, sorted-key JSON dump
+    (:func:`repro.canon.canonical_json`, shared with the sweep engine's
+    point IDs) is a stable identity: param insertion order and
+    equal-value re-encodings (``2`` vs ``2.0``) cannot split the
+    dedup/cache key.
     """
-    return json.dumps(
-        _canon({
-            "experiment": spec["experiment"],
-            "scale": spec.get("scale"),
-            "seed": spec.get("seed"),
-            "quick": bool(spec.get("quick", False)),
-            "params": spec.get("params") or {},
-        }),
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    return canonical_json({
+        "experiment": spec["experiment"],
+        "scale": spec.get("scale"),
+        "seed": spec.get("seed"),
+        "quick": bool(spec.get("quick", False)),
+        "params": spec.get("params") or {},
+    })
 
 
 @dataclass

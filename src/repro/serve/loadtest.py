@@ -25,7 +25,6 @@ the same way the other BENCH writers do.
 """
 from __future__ import annotations
 
-import json
 import queue
 import threading
 import time
@@ -411,6 +410,6 @@ def format_report(report: Dict[str, Any]) -> str:
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
-    with open(path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
+    from ..harness.export import write_json_atomic
+
+    write_json_atomic(report, path, sort_keys=True)

@@ -1,0 +1,24 @@
+"""repro.sweep -- declarative characterization sweeps.
+
+Specs (:mod:`repro.sweep.spec`) enumerate points over GPU config
+knobs, techniques, and workloads; the driver
+(:mod:`repro.sweep.driver`) fans them through the experiment-service
+process pool and records every point in the SQLite result database
+(:mod:`repro.harness.resultdb`); reports (:mod:`repro.sweep.reports`)
+answer sensitivity and Pareto questions from the database alone.
+CLI: ``python -m repro sweep ...`` (:mod:`repro.sweep.cli`).
+"""
+from .spec import (  # noqa: F401
+    SweepPoint,
+    SweepSpec,
+    SweepSpecError,
+    load_spec,
+)
+from .driver import SweepRunReport, metrics_from_record, run_sweep  # noqa: F401
+from .reports import pareto_report, sensitivity_report  # noqa: F401
+
+__all__ = [
+    "SweepPoint", "SweepSpec", "SweepSpecError", "load_spec",
+    "SweepRunReport", "metrics_from_record", "run_sweep",
+    "pareto_report", "sensitivity_report",
+]

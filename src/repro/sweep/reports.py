@@ -1,0 +1,216 @@
+"""Sensitivity and Pareto reports over the sweep result database.
+
+Both reports work from the database alone -- no rerun, no source
+JSON -- which is the point of recording sweeps in SQLite: the paper's
+§8-style sensitivity tables ("how does cycles move as L1 size
+doubles?") become queries.
+
+* :func:`sensitivity_report` pivots one metric against one knob (or
+  identity column), grouped by (workload, technique): one row per
+  group, one column per knob value, cells are the mean metric over
+  matching ``ok`` points, plus a max/min ratio column quantifying the
+  sensitivity.
+* :func:`pareto_report` keeps the non-dominated points under two or
+  more metrics (minimized by default; ``maximize`` flips individual
+  axes) -- the knob settings worth looking at when trading, say,
+  cycles against DRAM traffic.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..harness.resultdb import ResultDB
+
+_IDENTITY_COLS = ("workload", "technique", "scale", "seed", "base_config")
+
+
+def _point_value(row: Mapping[str, Any], name: str) -> Any:
+    """A knob, metric, or identity column of one fetched point row."""
+    if name in row["knobs"]:
+        return row["knobs"][name]
+    if name in row["metrics"]:
+        return row["metrics"][name]
+    if name in _IDENTITY_COLS:
+        return row[name]
+    return None
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# sensitivity
+# ----------------------------------------------------------------------
+@dataclass
+class SensitivityReport:
+    """metric-vs-knob pivot, grouped by (workload, technique)."""
+
+    knob: str
+    metric: str
+    values: List[Any]                       # knob values, sorted
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = (["workload", "technique"]
+                  + [f"{self.knob}={_fmt(v)}" for v in self.values]
+                  + ["max/min"])
+        body = []
+        for row in self.rows:
+            cells = [row["workload"], row["technique"]]
+            for value in self.values:
+                mean = row["cells"].get(_key(value))
+                cells.append(_fmt(mean) if mean is not None else "-")
+            cells.append(_fmt(row["ratio"]) if row["ratio"] else "-")
+            body.append(cells)
+        title = f"sensitivity: {self.metric} vs {self.knob}"
+        return title + "\n" + _render_table(header, body)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"knob": self.knob, "metric": self.metric,
+                "values": list(self.values), "rows": list(self.rows)}
+
+
+def _key(value: Any) -> str:
+    return _fmt(value)
+
+
+def sensitivity_report(
+    db: ResultDB,
+    knob: str,
+    metric: str,
+    *,
+    sweep: Optional[str] = None,
+    where: Optional[Mapping[str, Any]] = None,
+) -> SensitivityReport:
+    """Pivot ``metric`` against ``knob`` over the ``ok`` points."""
+    points = db.fetch_points(sweep=sweep, where=where, status="ok")
+    groups: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
+    values: List[Any] = []
+    for row in points:
+        kv = _point_value(row, knob)
+        mv = row["metrics"].get(metric)
+        if kv is None or mv is None:
+            continue
+        if _key(kv) not in {_key(v) for v in values}:
+            values.append(kv)
+        cell = groups.setdefault((row["workload"], row["technique"]), {})
+        cell.setdefault(_key(kv), []).append(float(mv))
+    try:
+        values.sort(key=lambda v: (0, float(v)) if isinstance(
+            v, (int, float, bool)) else (1, str(v)))
+    except TypeError:
+        values.sort(key=str)
+    report = SensitivityReport(knob=knob, metric=metric, values=values)
+    for (wl, tech) in sorted(groups):
+        cells = {k: sum(vs) / len(vs) for k, vs in groups[(wl, tech)].items()}
+        present = list(cells.values())
+        ratio = (max(present) / min(present)
+                 if present and min(present) > 0 else None)
+        report.rows.append({"workload": wl, "technique": tech,
+                            "cells": cells, "ratio": ratio})
+    return report
+
+
+# ----------------------------------------------------------------------
+# Pareto
+# ----------------------------------------------------------------------
+@dataclass
+class ParetoReport:
+    """Non-dominated points under the chosen metric objectives."""
+
+    metrics: List[str]
+    maximize: List[str]
+    frontier: List[Dict[str, Any]] = field(default_factory=list)
+    dominated: int = 0
+
+    def render(self) -> str:
+        header = (["point_id", "workload", "technique", "knobs"]
+                  + list(self.metrics))
+        body = []
+        for row in self.frontier:
+            knobs = ",".join(f"{k}={_fmt(v)}"
+                             for k, v in sorted(row["knobs"].items()))
+            body.append([row["point_id"][:12], row["workload"],
+                         row["technique"], knobs or "-"]
+                        + [_fmt(row["values"][m]) for m in self.metrics])
+        objectives = ", ".join(
+            m + (" (max)" if m in self.maximize else " (min)")
+            for m in self.metrics)
+        title = (f"pareto frontier over {objectives}: "
+                 f"{len(self.frontier)} points "
+                 f"({self.dominated} dominated eliminated)")
+        return title + "\n" + _render_table(header, body)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"metrics": list(self.metrics),
+                "maximize": list(self.maximize),
+                "dominated": self.dominated,
+                "frontier": list(self.frontier)}
+
+
+def pareto_report(
+    db: ResultDB,
+    metrics: Sequence[str],
+    *,
+    maximize: Sequence[str] = (),
+    sweep: Optional[str] = None,
+    where: Optional[Mapping[str, Any]] = None,
+) -> ParetoReport:
+    """Non-dominated ``ok`` points under two or more metric objectives."""
+    metrics = list(metrics)
+    if len(metrics) < 2:
+        raise ValueError("pareto needs at least two metrics")
+    maximize = [m for m in maximize]
+    unknown = sorted(set(maximize) - set(metrics))
+    if unknown:
+        raise ValueError(f"maximize names metrics not in the objective "
+                         f"set: {', '.join(unknown)}")
+    points = db.fetch_points(sweep=sweep, where=where, status="ok")
+    candidates = []
+    for row in points:
+        values = {m: row["metrics"].get(m) for m in metrics}
+        if any(v is None for v in values.values()):
+            continue
+        # canonical minimization vector (flip maximized axes)
+        vector = tuple(-values[m] if m in maximize else values[m]
+                       for m in metrics)
+        candidates.append((vector, row, values))
+
+    def dominates(a, b) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b))
+
+    report = ParetoReport(metrics=metrics, maximize=maximize)
+    for vec, row, values in candidates:
+        if any(dominates(other, vec)
+               for other, _r, _v in candidates if other != vec):
+            report.dominated += 1
+            continue
+        report.frontier.append({
+            "point_id": row["point_id"], "workload": row["workload"],
+            "technique": row["technique"], "knobs": dict(row["knobs"]),
+            "values": values,
+        })
+    report.frontier.sort(key=lambda r: (r["workload"], r["technique"],
+                                        r["point_id"]))
+    return report

@@ -1,0 +1,363 @@
+"""Declarative sweep specs: axes over config knobs, resolved to points.
+
+A sweep spec names a base GPU configuration and enumerates *points* --
+resolved (workload, technique, config-knob, scale, seed, iterations)
+combinations -- either as a cross-product of ``axes`` or as explicit
+``points`` entries (or both)::
+
+    {
+      "name": "l1-tlb",
+      "base_config": "scaled",
+      "workloads": ["TRAF"],
+      "techniques": ["cuda", "soa"],
+      "scale": 0.05,
+      "axes": {
+        "l1.size_bytes": [4096, 8192, 16384],
+        "model_tlb": [true, false]
+      },
+      "points": [{"technique": "typepointer", "num_sms": 8}]
+    }
+
+Specs load from a Python dict, a JSON file, or a TOML-ish file
+(``key = <JSON value>`` lines with ``[axes]`` sections; see
+:func:`load_spec`).  Axis keys are :class:`~repro.gpu.config.GPUConfig`
+knobs -- dotted keys (``l1.size_bytes``) reach into the cache
+geometries -- or the special per-experiment axes ``workload`` /
+``technique`` / ``scale`` / ``seed`` / ``iterations``.  Every resolved
+point is validated eagerly: unknown workloads/techniques/knobs and
+invalid cache geometries fail at resolve time with did-you-mean hints,
+before anything runs.
+
+Every point gets a deterministic ``point_id``: the
+:func:`repro.canon.content_id` of its resolved spec (the same
+canonicalization the serving layer's ``job_key`` uses), so the same
+point always lands under the same ID -- across reruns, across sweeps,
+across machines -- which is what makes sweeps resumable and the result
+database deduplicating.
+"""
+from __future__ import annotations
+
+import difflib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..canon import content_id
+from ..errors import UnknownTechniqueError
+from ..gpu.config import GPUConfig, base_configs, config_with_knobs
+from ..techniques import resolve as resolve_technique
+from ..workloads import workload_names
+
+#: axes that select the experiment rather than the GPU config
+SPECIAL_AXES = ("workload", "technique", "scale", "seed", "iterations")
+
+#: default scale for sweep points (matches the smoke options)
+DEFAULT_SWEEP_SCALE = 0.05
+
+
+class SweepSpecError(ValueError):
+    """A sweep spec is malformed or names unknown entities."""
+
+
+@dataclass
+class SweepPoint:
+    """One resolved point of a sweep (validated, content-addressed)."""
+
+    point_id: str
+    sweep: str
+    workload: str
+    technique: str
+    scale: float
+    seed: int
+    iterations: Optional[int]
+    base_config: str
+    knobs: Dict[str, Any]
+
+    def identity(self) -> Dict[str, Any]:
+        """The resolved spec the point ID is the hash of."""
+        return {
+            "base_config": self.base_config,
+            "workload": self.workload,
+            "technique": self.technique,
+            "scale": self.scale,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "knobs": self.knobs,
+        }
+
+    def build_config(self) -> GPUConfig:
+        """The point's GPU configuration (validated construction)."""
+        base = base_configs()[self.base_config]()
+        return config_with_knobs(base, self.knobs)
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep over config knobs and techniques."""
+
+    name: str
+    base_config: str = "scaled"
+    workloads: Tuple[str, ...] = ("TRAF",)
+    techniques: Tuple[str, ...] = ("cuda",)
+    scale: float = DEFAULT_SWEEP_SCALE
+    seed: int = 7
+    iterations: Optional[int] = None
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    points: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base_config": self.base_config,
+            "workloads": list(self.workloads),
+            "techniques": list(self.techniques),
+            "scale": self.scale,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "axes": dict(self.axes),
+            "points": list(self.points),
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        if not isinstance(data, Mapping):
+            raise SweepSpecError(f"spec is not a mapping: {data!r:.60}")
+        known = {"name", "base_config", "workloads", "techniques",
+                 "scale", "seed", "iterations", "axes", "points"}
+        extra = sorted(set(data) - known)
+        if extra:
+            hints = []
+            for key in extra:
+                close = difflib.get_close_matches(key, sorted(known), n=1)
+                hints.append(f"{key!r}"
+                             + (f" (did you mean {close[0]!r}?)"
+                                if close else ""))
+            raise SweepSpecError(
+                f"unknown spec field(s): {', '.join(hints)}")
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise SweepSpecError("spec needs a non-empty 'name'")
+        if name.startswith("bench:"):
+            raise SweepSpecError(
+                "sweep names starting with 'bench:' are reserved for "
+                "BENCH_*.json imports")
+        spec = cls(
+            name=name,
+            base_config=data.get("base_config", "scaled"),
+            workloads=tuple(data.get("workloads", ("TRAF",))),
+            techniques=tuple(data.get("techniques", ("cuda",))),
+            scale=float(data.get("scale", DEFAULT_SWEEP_SCALE)),
+            seed=int(data.get("seed", 7)),
+            iterations=data.get("iterations"),
+            axes={str(k): list(v)
+                  for k, v in dict(data.get("axes", {})).items()},
+            points=[dict(p) for p in data.get("points", [])],
+        )
+        spec.validate()
+        return spec
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Eager validation of every name the spec mentions."""
+        if self.base_config not in base_configs():
+            raise SweepSpecError(
+                f"unknown base_config {self.base_config!r}; known: "
+                f"{', '.join(sorted(base_configs()))}")
+        known_wls = workload_names()
+        for wl in self.workloads:
+            if wl not in known_wls:
+                msg = f"unknown workload {wl!r}"
+                close = difflib.get_close_matches(wl, known_wls, n=3)
+                if close:
+                    msg += f"; did you mean: {', '.join(close)}?"
+                raise SweepSpecError(msg)
+        for tech in self.techniques:
+            try:
+                resolve_technique(tech)
+            except UnknownTechniqueError as exc:
+                raise SweepSpecError(str(exc)) from None
+        base = base_configs()[self.base_config]
+        for axis, values in self.axes.items():
+            if not isinstance(values, list) or not values:
+                raise SweepSpecError(
+                    f"axis {axis!r} must map to a non-empty list")
+            if axis in ("workload", "technique") and (
+                    len(getattr(self, axis + "s")) > 1):
+                raise SweepSpecError(
+                    f"axis {axis!r} conflicts with the top-level "
+                    f"{axis}s list; specify one or the other")
+            if axis in SPECIAL_AXES:
+                continue
+            # probe every axis value against the base config so bad
+            # knob names / geometries fail at load, not mid-sweep
+            for value in values:
+                try:
+                    config_with_knobs(base(), {axis: value})
+                except ValueError as exc:
+                    raise SweepSpecError(
+                        f"axis {axis!r}, value {value!r}: {exc}"
+                    ) from None
+        for i, point in enumerate(self.points):
+            if not isinstance(point, Mapping):
+                raise SweepSpecError(f"points[{i}] is not a mapping")
+
+    # ------------------------------------------------------------------
+    def resolve_points(self) -> List[SweepPoint]:
+        """Every validated point, deduplicated, with deterministic IDs.
+
+        The cross-product of ``axes`` runs under every
+        (workload, technique) pair, then explicit ``points`` entries
+        are appended; entries resolving to the same identity collapse
+        to one point.
+        """
+        raw: List[Dict[str, Any]] = []
+        axis_keys = list(self.axes)
+        combos = (itertools.product(*(self.axes[k] for k in axis_keys))
+                  if axis_keys else [()])
+        for combo in combos:
+            overrides = dict(zip(axis_keys, combo))
+            for wl in self.workloads:
+                for tech in self.techniques:
+                    raw.append({"workload": wl, "technique": tech,
+                                **overrides})
+        for point in self.points:
+            raw.append(dict(point))
+
+        out: List[SweepPoint] = []
+        seen: Dict[str, SweepPoint] = {}
+        for i, entry in enumerate(raw):
+            point = self._resolve_one(entry, i)
+            if point.point_id not in seen:
+                seen[point.point_id] = point
+                out.append(point)
+        return out
+
+    def _resolve_one(self, entry: Dict[str, Any], index: int) -> SweepPoint:
+        def take(key: str, default: Any) -> Any:
+            return entry.pop(key) if key in entry else default
+
+        workload = take("workload", None)
+        technique = take("technique", None)
+        if workload is None:
+            if len(self.workloads) != 1:
+                raise SweepSpecError(
+                    f"point {index} omits 'workload' but the spec lists "
+                    f"{len(self.workloads)} workloads -- ambiguous")
+            workload = self.workloads[0]
+        if technique is None:
+            if len(self.techniques) != 1:
+                raise SweepSpecError(
+                    f"point {index} omits 'technique' but the spec "
+                    f"lists {len(self.techniques)} techniques")
+            technique = self.techniques[0]
+        if workload not in workload_names():
+            close = difflib.get_close_matches(workload, workload_names(),
+                                              n=3)
+            raise SweepSpecError(
+                f"point {index}: unknown workload {workload!r}"
+                + (f"; did you mean: {', '.join(close)}?" if close else ""))
+        try:
+            technique = resolve_technique(technique).name
+        except UnknownTechniqueError as exc:
+            raise SweepSpecError(f"point {index}: {exc}") from None
+        scale = float(take("scale", self.scale))
+        seed = int(take("seed", self.seed))
+        iterations = take("iterations", self.iterations)
+        knobs = {str(k): _plain(v) for k, v in sorted(entry.items())}
+        point = SweepPoint(
+            point_id="", sweep=self.name, workload=workload,
+            technique=technique, scale=scale, seed=seed,
+            iterations=iterations, base_config=self.base_config,
+            knobs=knobs,
+        )
+        try:
+            point.build_config()   # validates knob names + geometry
+        except ValueError as exc:
+            raise SweepSpecError(f"point {index} "
+                                 f"({workload}/{technique}): {exc}") from None
+        point.point_id = content_id(point.identity())
+        return point
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe copy of one knob value (tuples become lists)."""
+    return json.loads(json.dumps(value))
+
+
+# ----------------------------------------------------------------------
+# loading: dict / JSON / TOML-ish
+# ----------------------------------------------------------------------
+def load_spec(source: Union[str, Path, Mapping[str, Any]]) -> SweepSpec:
+    """Load a sweep spec from a dict, a JSON file, or a TOML-ish file.
+
+    A path ending in ``.json`` (or whose content starts with ``{``)
+    parses as JSON; anything else parses as TOML-ish: ``key = value``
+    lines where the value is a JSON literal (or a bare string), with
+    ``[axes]`` starting the axes section and comments on ``#`` lines.
+    """
+    if isinstance(source, Mapping):
+        return SweepSpec.from_dict(source)
+    path = Path(source)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SweepSpecError(f"cannot read spec {path}: {exc}") from None
+    stripped = text.lstrip()
+    if path.suffix.lower() == ".json" or stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError(f"{path}: invalid JSON: {exc}") from None
+    else:
+        data = _parse_tomlish(text, str(path))
+    return SweepSpec.from_dict(data)
+
+
+def _parse_tomlish(text: str, origin: str) -> Dict[str, Any]:
+    data: Dict[str, Any] = {}
+    section: Dict[str, Any] = data
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name:
+                raise SweepSpecError(f"{origin}:{lineno}: empty section")
+            section = data.setdefault(name, {})
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise SweepSpecError(
+                f"{origin}:{lineno}: expected 'key = value', got "
+                f"{line!r}")
+        key = key.strip().strip('"').strip("'")
+        section[key] = _parse_value(value.strip(), origin, lineno)
+    return data
+
+
+def _parse_value(text: str, origin: str, lineno: int) -> Any:
+    if not text:
+        raise SweepSpecError(f"{origin}:{lineno}: empty value")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+            return text[1:-1]
+        # bare string (TOML-ish convenience: scaled, TRAF, ...)
+        return text
+
+
+def describe_points(points: Sequence[SweepPoint]) -> str:
+    """A dry-run listing of resolved points."""
+    lines = []
+    for p in points:
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(p.knobs.items()))
+        lines.append(
+            f"{p.point_id}  {p.workload}/{p.technique} "
+            f"scale={p.scale} seed={p.seed}"
+            + (f"  [{knobs}]" if knobs else ""))
+    return "\n".join(lines)

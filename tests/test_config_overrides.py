@@ -1,0 +1,92 @@
+"""GPUConfig.with_overrides / config_with_knobs (sweep + --config path)."""
+import pytest
+
+from repro.gpu.config import (
+    CacheGeometry,
+    base_configs,
+    config_with_knobs,
+    scaled_config,
+)
+
+
+def test_with_overrides_replaces_scalar_knobs():
+    base = scaled_config()
+    cfg = base.with_overrides(num_sms=4, model_tlb=False)
+    assert cfg.num_sms == 4
+    assert cfg.model_tlb is False
+    # untouched knobs survive, and the base is not mutated
+    assert cfg.warp_size == base.warp_size
+    assert base.num_sms != 4 or base.model_tlb is True
+
+
+def test_with_overrides_rejects_unknown_with_hint():
+    with pytest.raises(ValueError, match="did you mean.*num_sms"):
+        scaled_config().with_overrides(num_sm=4)
+    with pytest.raises(ValueError, match="unknown GPUConfig knob"):
+        scaled_config().with_overrides(definitely_not_a_knob=1)
+
+
+def test_with_overrides_nested_geometry_mapping():
+    base = scaled_config()
+    cfg = base.with_overrides(l1={"size_bytes": 8192})
+    assert cfg.l1.size_bytes == 8192
+    # unspecified geometry fields keep the base values
+    assert cfg.l1.assoc == base.l1.assoc
+    assert cfg.l1.line_bytes == base.l1.line_bytes
+
+
+def test_with_overrides_accepts_whole_geometry():
+    geo = CacheGeometry(size_bytes=16384, assoc=4)
+    cfg = scaled_config().with_overrides(l2=geo)
+    assert cfg.l2 is geo
+
+
+def test_with_overrides_reruns_geometry_checks():
+    with pytest.raises(ValueError, match="multiple of the line size"):
+        scaled_config().with_overrides(l1={"size_bytes": 1000})
+    with pytest.raises(ValueError, match="associativity"):
+        scaled_config().with_overrides(l1={"size_bytes": 128, "assoc": 3})
+    with pytest.raises(ValueError, match="unknown CacheGeometry"):
+        scaled_config().with_overrides(l1={"sized_bytes": 4096})
+
+
+def test_config_with_knobs_dotted_keys():
+    cfg = config_with_knobs(scaled_config(),
+                            {"l1.size_bytes": 8192, "model_tlb": False})
+    assert cfg.l1.size_bytes == 8192
+    assert cfg.model_tlb is False
+
+
+def test_config_with_knobs_renames_deterministically():
+    base = scaled_config()
+    a = config_with_knobs(base, {"num_sms": 4})
+    b = config_with_knobs(base, {"num_sms": 4})
+    c = config_with_knobs(base, {"num_sms": 8})
+    assert a.name == b.name                  # same knobs -> same name
+    assert a.name != c.name                  # different knobs -> distinct
+    assert a.name != base.name               # never collides with the base
+    assert a.name.startswith(base.name + "+")
+    # int/float collapse canonically: 4 and 4.0 are the same point
+    d = config_with_knobs(base, {"num_sms": 4.0})
+    assert d.name == a.name
+
+
+def test_config_with_knobs_rejects_mixed_forms():
+    with pytest.raises(ValueError, match="pick one form"):
+        config_with_knobs(scaled_config(),
+                          {"l1": {"size_bytes": 8192},
+                           "l1.assoc": 2})
+    with pytest.raises(ValueError, match="dotted knobs must start"):
+        config_with_knobs(scaled_config(), {"dram.banks": 4})
+
+
+def test_config_with_knobs_explicit_name_wins():
+    cfg = config_with_knobs(scaled_config(),
+                            {"num_sms": 4, "name": "mine"})
+    assert cfg.name == "mine"
+
+
+def test_base_configs_construct():
+    for name, factory in base_configs().items():
+        cfg = factory()
+        assert cfg.num_sms >= 1, name

@@ -1,7 +1,22 @@
 """Tests for JSON export/import of figure results."""
+import json
+
 import pytest
 
-from repro.harness.export import export_figure, figure_to_dict, load_figure
+import repro.faults as faults
+from repro.faults import FaultSchedule, InjectedFault, ScheduleEntry
+from repro.harness.export import (
+    EXPORT_SCHEMA,
+    ROWS_SCHEMA,
+    export_figure,
+    export_rows,
+    figure_to_dict,
+    load_figure,
+    load_rows,
+    rows_to_payload,
+    validate_export,
+    write_json_atomic,
+)
 from repro.harness.figures import FigureResult
 
 
@@ -56,3 +71,104 @@ def test_numpy_values_serializable(tmp_path):
     )
     restored = load_figure(export_figure(r, tmp_path / "n.json"))
     assert restored.values["a"] == 1.5
+
+
+# ----------------------------------------------------------------------
+# atomicity: a failure between temp-write and rename never tears a file
+# ----------------------------------------------------------------------
+def test_atomic_write_survives_injected_crash(tmp_path, result):
+    """A fault at the rename seam leaves the old file fully intact."""
+    path = tmp_path / "fig.json"
+    export_figure(result, path)
+    before = path.read_text()
+
+    faults.arm(FaultSchedule(0, [ScheduleEntry("export.write", "raise")]))
+    try:
+        with pytest.raises(InjectedFault):
+            write_json_atomic({"schema": "torn"}, path)
+    finally:
+        faults.disarm()
+
+    assert path.read_text() == before           # old contents survive
+    assert list(tmp_path.glob("*.tmp")) == []   # no temp debris
+
+    # the retry (failpoint is once=True) succeeds and replaces the file
+    write_json_atomic(figure_to_dict(result), path)
+    assert json.loads(path.read_text())["figure"] == result.figure
+
+
+def test_atomic_csv_write_survives_injected_crash(tmp_path):
+    rows = [{"a": 1, "b": 2.5}]
+    path = tmp_path / "rows.csv"
+    export_rows(rows, path)
+    before = path.read_text()
+
+    faults.arm(FaultSchedule(0, [ScheduleEntry("export.write", "raise")]))
+    try:
+        with pytest.raises(InjectedFault):
+            export_rows([{"a": 9, "b": 9.0}], path)
+    finally:
+        faults.disarm()
+    assert path.read_text() == before
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# schema stamping + validation
+# ----------------------------------------------------------------------
+def test_export_is_schema_stamped(tmp_path, result):
+    data = json.loads(export_figure(result, tmp_path / "f.json").read_text())
+    assert data["schema"] == EXPORT_SCHEMA
+    validate_export(data)  # round-trips through the validator
+
+
+def test_validate_export_rejects_bad_payloads():
+    with pytest.raises(ValueError, match="schema"):
+        validate_export({"figure": "fig6"})
+    with pytest.raises(ValueError, match="not a number"):
+        validate_export({"schema": EXPORT_SCHEMA, "figure": "f",
+                         "table": "t", "values": {"a": "oops"},
+                         "summary": {}})
+    with pytest.raises(ValueError, match="columns"):
+        validate_export({"schema": ROWS_SCHEMA, "columns": "a,b",
+                         "rows": []})
+    with pytest.raises(ValueError, match="outside"):
+        validate_export({"schema": ROWS_SCHEMA, "columns": ["a"],
+                         "rows": [{"a": 1, "z": 2}]})
+
+
+def test_load_figure_rejects_corrupt_schema(tmp_path, result):
+    path = export_figure(result, tmp_path / "f.json")
+    data = json.loads(path.read_text())
+    data["values"]["TRAF||cuda"] = "corrupted"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_figure(path)
+
+
+# ----------------------------------------------------------------------
+# sweep query rows: CSV/JSON round-trip
+# ----------------------------------------------------------------------
+def test_rows_roundtrip_json(tmp_path):
+    rows = [{"workload": "TRAF", "cycles": 10.0},
+            {"workload": "GOL", "cycles": 20.0, "extra": 1}]
+    path = export_rows(rows, tmp_path / "rows.json")
+    payload = load_rows(path)
+    assert payload["schema"] == ROWS_SCHEMA
+    assert payload["columns"] == ["workload", "cycles", "extra"]
+    assert payload["rows"] == rows
+
+
+def test_rows_csv_has_uniform_header(tmp_path):
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    path = export_rows(rows, tmp_path / "rows.csv")
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,"        # missing column -> empty cell
+    assert lines[2] == "2,3"
+
+
+def test_rows_to_payload_respects_explicit_columns():
+    payload = rows_to_payload([{"a": 1, "b": 2}], columns=["b", "a"])
+    assert payload["columns"] == ["b", "a"]
+    validate_export(payload)
