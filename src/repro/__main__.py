@@ -41,7 +41,7 @@ import sys
 import time
 
 from .core.instrumentation import disassemble
-from .errors import UnknownTechniqueError
+from .errors import UnknownEngineError, UnknownTechniqueError
 from .gpu.config import scaled_config
 from .gpu.machine import Machine
 from .techniques import available as technique_names
@@ -313,6 +313,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     args.config_obj = _config_from(args, parser)
 
+    # fail fast (exit 2 + hints) on a bad replay engine, whether it came
+    # from --config replay_engine=... or the REPRO_REPLAY_ENGINE env var
+    from .gpu.replay import resolve_engine_name
+
+    try:
+        resolve_engine_name(args.config_obj or scaled_config())
+    except UnknownEngineError as exc:
+        parser.error(str(exc))
+
     def _validated_techniques(csv: str) -> tuple:
         """Resolve a comma-separated technique list or exit 2 with hints."""
         names = tuple(t for t in csv.split(",") if t)
@@ -361,14 +370,21 @@ def main(argv=None) -> int:
             print(f"wrote {out}")
             return 0 if report["ok"] else 1
 
+        from .harness.resultdb import default_db_path
         from .harness.selfbench import DEFAULT_OUTPUT, format_report, run_selfbench
 
         out = args.output or DEFAULT_OUTPUT
+        workloads = (tuple(w for w in args.workloads.split(",") if w)
+                     if args.workloads else None)
         t0 = time.time()
-        report = run_selfbench(scale=args.scale, output=out,
-                               repeats=args.repeats)
+        report = run_selfbench(workloads=workloads, scale=args.scale,
+                               output=out, repeats=args.repeats,
+                               db_path=default_db_path())
         print(format_report(report))
         print(f"wrote {out} [{time.time() - t0:.1f}s]")
+        if "resultdb" in report:
+            print(f"recorded {report['resultdb']['points']} points into "
+                  f"{default_db_path()}")
         ok = (report["counters_match"]
               and report["telemetry_overhead"]["ok"]
               and report["failpoint_overhead"]["ok"])

@@ -70,6 +70,26 @@ class UnknownTechniqueError(LaunchError):
         super().__init__(msg)
 
 
+class UnknownEngineError(LaunchError):
+    """A replay-engine name did not resolve in :mod:`repro.gpu.replay`.
+
+    Carries the failing ``engine``, the ``known`` engine names and
+    did-you-mean ``hints`` so CLIs can render the same UX as unknown
+    techniques (exit 2 plus a suggestion).
+    """
+
+    def __init__(self, engine: str, known=(), hints=()):
+        self.engine = engine
+        self.known = tuple(known)
+        self.hints = tuple(hints)
+        msg = f"unknown replay engine {engine!r}"
+        if self.known:
+            msg += f"; known engines: {', '.join(self.known)}"
+        if self.hints:
+            msg += f" (did you mean: {', '.join(self.hints)}?)"
+        super().__init__(msg)
+
+
 class LaunchConfigError(LaunchError):
     """Invalid launch geometry: grid/block/thread counts must be
     positive integers.

@@ -112,8 +112,13 @@ class Machine:
         #: any launch); plus the trace-hash chain and pending traces
         self._replay_memo = _DEFAULT_REPLAY_MEMO
         self._trace_chain: Optional[bytes] = None
-        self._pending_traces: List[list] = []
+        self._pending_traces: List[object] = []
         self._waves_replayed = 0
+        #: optional zero-copy trace store (see harness.store.TraceStore):
+        #: memo hits spill their waves here instead of pinning raw
+        #: traces in memory until the next miss drains them
+        self._trace_store = None
+        self._trace_bucket: Optional[str] = None
 
         # no per-technique branching here: the registry spec carries the
         # dispatch strategy, allocator recipe and MMU mode
@@ -253,6 +258,25 @@ class Machine:
             )
         self._replay_memo = memo
 
+    def set_trace_store(self, store, bucket: str) -> None:
+        """Attach a zero-copy trace store for memo-hit waves.
+
+        Without a store, every memo hit pins its raw trace list in
+        memory until the next miss drains it through the engine -- an
+        unbounded cost on long warm runs.  With one attached, hit waves
+        are delta-encoded into the store's ``bucket`` (keyed by the
+        same chained hash as the memo) and the pending list holds only
+        the 20-byte keys; the drain decodes them back as views into
+        the mapped bucket file.  Same attach-before-first-launch rule
+        as the memo, for the same chaining reason.
+        """
+        if self._waves_replayed:
+            raise LaunchError(
+                "trace store must be attached before the first launch"
+            )
+        self._trace_store = store
+        self._trace_bucket = bucket
+
     def _advance_chain(self, traces) -> bytes:
         import hashlib
 
@@ -291,12 +315,19 @@ class Machine:
         if hit is not None:
             obs.count("machine.memo_hits")
             stats.merge(hit)
-            self._pending_traces.append(traces)
+            if self._trace_store is not None:
+                self._trace_store.put_wave(self._trace_bucket, key, traces)
+                self._pending_traces.append(key)
+            else:
+                self._pending_traces.append(traces)
             return
         obs.count("machine.memo_misses")
         if self._pending_traces:
             scratch = KernelStats()
             for wave in self._pending_traces:
+                if isinstance(wave, bytes):
+                    wave = self._trace_store.get_wave(
+                        self._trace_bucket, wave)
                 self.engine.replay_wave(wave, scratch)
             self._pending_traces.clear()
         delta = KernelStats()

@@ -273,11 +273,17 @@ def run_selfbench(
     seed: int = 7,
     output: Optional[str] = DEFAULT_OUTPUT,
     repeats: int = 1,
+    db_path: Optional[str] = None,
 ) -> Dict:
     """Time the fig6 suite under each engine; write ``output`` JSON.
 
     ``repeats`` runs each (engine, workload, technique) cell that many
     times and keeps the fastest (wall-clock benchmarking hygiene).
+    With ``db_path`` set (and ``output`` written), the report is also
+    recorded into that sweep result database via
+    :func:`~repro.harness.resultdb.import_bench_file`, so engine
+    regressions are queryable next to the characterization sweeps; the
+    import summary lands under the report's ``resultdb`` key.
     Returns the report dict that was written.
     """
     cfg = config or scaled_config()
@@ -337,6 +343,11 @@ def run_selfbench(
     }
     if output:
         write_json_atomic(report, output)
+        if db_path is not None:
+            from .resultdb import ResultDB, import_bench_file
+
+            with ResultDB(db_path) as db:
+                report["resultdb"] = import_bench_file(db, output)
     return report
 
 

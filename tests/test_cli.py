@@ -109,6 +109,32 @@ def test_submit_without_daemon_fails_cleanly(capsys):
     assert "submit failed" in capsys.readouterr().err
 
 
+def test_unknown_replay_engine_config_exits_2_with_hint(capsys):
+    # a typo'd engine dies in argparse with a did-you-mean, before any
+    # experiment dispatch
+    with pytest.raises(SystemExit) as excinfo:
+        main(["list", "--config", "replay_engine=fussed"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown replay engine 'fussed'" in err
+    assert "did you mean" in err and "fused" in err
+
+
+def test_unknown_replay_engine_env_exits_2_with_hint(capsys, monkeypatch):
+    # the env override goes through the same validation as --config
+    monkeypatch.setenv("REPRO_REPLAY_ENGINE", "vectr")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["list"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown replay engine 'vectr'" in err
+    assert "did you mean" in err and "vector" in err
+
+
+def test_valid_replay_engine_config_accepted(capsys):
+    assert main(["list", "--config", "replay_engine=fused"]) == 0
+
+
 def test_status_without_daemon_fails_cleanly(capsys):
     assert main(["status", "--socket", "/nonexistent/serve.sock"]) == 1
     assert "status failed" in capsys.readouterr().err

@@ -1,9 +1,11 @@
 """Cross-validation of the replay engines.
 
 The ReferenceEngine is the executable specification (the dict-based
-SectoredCache hierarchy); the VectorEngine must be *bit-identical* on
-every counter, across dispatch strategies, workloads and random access
-streams.
+SectoredCache hierarchy); the VectorEngine and FusedEngine must be
+*bit-identical* on every counter, across dispatch strategies, workloads
+and random access streams.  The differential matrix below runs every
+registered technique against every Figure-6 workload under all three
+engines and compares whole KernelStats records, not checksums.
 """
 from __future__ import annotations
 
@@ -13,13 +15,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import LaunchError
+from repro.errors import LaunchError, UnknownEngineError
 from repro.gpu.cache import MemoryHierarchy
 from repro.gpu.config import CacheGeometry, GPUConfig, small_config
 from repro.gpu.machine import Machine
 from repro.gpu.replay import (
     ENGINE_ENV_VAR,
     ENGINES,
+    FusedEngine,
     ReferenceEngine,
     VectorEngine,
     make_engine,
@@ -27,7 +30,8 @@ from repro.gpu.replay import (
 )
 from repro.gpu.stats import KernelStats
 from repro.gpu.trace import MemoryTrace, role_id
-from repro.workloads import make_workload
+from repro.techniques import available as all_techniques
+from repro.workloads import make_workload, workload_names
 
 FIG6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
 
@@ -37,6 +41,10 @@ FIG6_TECHNIQUES = ("cuda", "concord", "sharedoa", "coal", "typepointer")
 # ----------------------------------------------------------------------
 def test_default_engine_is_vector():
     assert GPUConfig().replay_engine == "vector"
+
+
+def test_engines_registry_names():
+    assert ENGINES == ("reference", "vector", "fused")
 
 
 def test_resolve_engine_prefers_env(monkeypatch):
@@ -53,13 +61,29 @@ def test_resolve_engine_rejects_unknown(monkeypatch):
         resolve_engine_name(small_config())
 
 
+def test_resolve_engine_unknown_carries_hints(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV_VAR, "fussed")
+    with pytest.raises(UnknownEngineError) as excinfo:
+        resolve_engine_name(small_config())
+    err = excinfo.value
+    assert err.engine == "fussed"
+    assert err.known == ENGINES
+    assert "fused" in err.hints
+    assert "did you mean" in str(err)
+
+
 def test_make_engine_constructs_named_engines():
     cfg = small_config()
     hier = MemoryHierarchy(cfg)
     assert isinstance(make_engine("reference", cfg, hier), ReferenceEngine)
     assert isinstance(make_engine("vector", cfg, hier), VectorEngine)
-    with pytest.raises(LaunchError):
-        make_engine("nope", cfg, hier)
+    assert isinstance(make_engine("fused", cfg, hier), FusedEngine)
+    with pytest.raises(UnknownEngineError) as excinfo:
+        make_engine("vectr", cfg, hier)
+    assert "vector" in excinfo.value.hints
+    # UnknownEngineError subclasses LaunchError: existing callers that
+    # catch the broad class keep working
+    assert isinstance(excinfo.value, LaunchError)
 
 
 def test_machine_respects_config_engine():
@@ -70,7 +94,8 @@ def test_machine_respects_config_engine():
 
 
 # ----------------------------------------------------------------------
-# differential: full workloads, all five dispatch strategies
+# differential matrix: every technique x every Figure-6 workload x all
+# three engines, whole-KernelStats equality
 # ----------------------------------------------------------------------
 def _run(workload: str, technique: str, engine: str):
     cfg = replace(small_config(), replay_engine=engine)
@@ -79,27 +104,121 @@ def _run(workload: str, technique: str, engine: str):
     return wl.run(1), wl.checksum()
 
 
-@pytest.mark.parametrize("technique", FIG6_TECHNIQUES)
-@pytest.mark.parametrize("workload", ["TRAF", "BFS-vE"])
+@pytest.mark.parametrize("technique", all_techniques())
+@pytest.mark.parametrize("workload", workload_names())
 def test_engines_bit_identical_on_workloads(workload, technique):
     ref_stats, ref_ck = _run(workload, technique, "reference")
     vec_stats, vec_ck = _run(workload, technique, "vector")
+    fus_stats, fus_ck = _run(workload, technique, "fused")
     # KernelStats is a dataclass: == covers every counter, including the
     # per-role dicts and the timing-model outputs derived from them
     assert vec_stats == ref_stats
+    assert fus_stats == ref_stats
     assert vec_ck == ref_ck
+    assert fus_ck == ref_ck
 
 
-def test_engines_bit_identical_under_object_churn():
+@pytest.mark.parametrize("engine", ["vector", "fused"])
+def test_engines_bit_identical_under_object_churn(engine):
     # GOL retypes objects between launches: allocator reuse stresses
     # cache-state carry-over across waves and launches
     ref_stats, _ = _run("GOL", "typepointer", "reference")
-    vec_stats, _ = _run("GOL", "typepointer", "vector")
-    assert vec_stats == ref_stats
+    eng_stats, _ = _run("GOL", "typepointer", engine)
+    assert eng_stats == ref_stats
 
 
 # ----------------------------------------------------------------------
-# property test: random access streams, SectoredCache vs vectorized
+# fused-engine plan cache: repeated waves take the memoized path
+# ----------------------------------------------------------------------
+def _captured_waves(workload: str, technique: str, scale: float = 0.1):
+    """Run a workload under the vector engine, capturing its raw waves."""
+    cfg = replace(small_config(), replay_engine="vector")
+    m = Machine(technique, config=cfg)
+    waves = []
+    inner = m.engine.replay_wave
+
+    def capture(traces, stats):
+        waves.append(list(traces))
+        inner(traces, stats)
+
+    m.engine.replay_wave = capture
+    wl = make_workload(workload, m, scale=scale, seed=3)
+    wl.run(1)
+    return waves
+
+
+def test_fused_plan_cache_hits_stay_bit_identical():
+    cfg = small_config()
+    waves = _captured_waves("BFS-vE", "cuda")
+    # replay the stream twice through ONE engine: the second pass runs
+    # entirely out of the plan cache, against evolved cache state
+    vec, fus = VectorEngine(cfg), FusedEngine(cfg)
+    vs, fs = KernelStats(), KernelStats()
+    for _ in range(2):
+        for traces in waves:
+            vec.replay_wave(traces, vs)
+            fus.replay_wave(traces, fs)
+    assert len(fus._plans) > 0
+    assert fs == vs
+    assert fus.dram_row_hits == vec.dram_row_hits
+    assert fus._open_rows == vec._open_rows
+
+
+def test_fused_plan_cache_respects_byte_budget():
+    cfg = small_config()
+    waves = _captured_waves("TRAF", "cuda")
+    fus = FusedEngine(cfg)
+    fus._plans.budget = 1  # evict everything but the newest plan
+    stats = KernelStats()
+    for traces in waves:
+        fus.replay_wave(traces, stats)
+    assert len(fus._plans) <= 1
+    vec = VectorEngine(cfg)
+    vs = KernelStats()
+    for traces in waves:
+        vec.replay_wave(traces, vs)
+    assert stats == vs  # eviction affects speed only, never counters
+
+
+# ----------------------------------------------------------------------
+# sharded L1 replay: the WaveShardPool partition is bit-identical
+# ----------------------------------------------------------------------
+def test_fused_shard_pool_bit_identical():
+    from repro.harness.service import WaveShardPool
+
+    cfg = small_config()
+    waves = _captured_waves("BFS-vE", "typepointer")
+    serial = FusedEngine(cfg)
+    ser_stats = KernelStats()
+    for traces in waves:
+        serial.replay_wave(traces, ser_stats)
+
+    sharded = FusedEngine(cfg)
+    shd_stats = KernelStats()
+    with WaveShardPool(cfg, num_shards=2) as pool:
+        sharded.attach_shard_pool(pool)
+        for traces in waves:
+            sharded.replay_wave(traces, shd_stats)
+    assert shd_stats == ser_stats
+    assert sharded.dram_row_hits == serial.dram_row_hits
+    assert sharded._open_rows == serial._open_rows
+
+
+def test_fused_shard_pool_must_attach_before_first_wave():
+    cfg = small_config()
+    waves = _captured_waves("TRAF", "cuda")
+    engine = FusedEngine(cfg)
+    engine.replay_wave(waves[0], KernelStats())
+
+    class _Pool:
+        num_shards = 2
+
+    with pytest.raises(LaunchError):
+        engine.attach_shard_pool(_Pool())
+
+
+# ----------------------------------------------------------------------
+# property test: random access streams, all three engines in lockstep
 # ----------------------------------------------------------------------
 #: tiny geometry so evictions and row conflicts happen within a handful
 #: of accesses (L1: 8 lines in 4 sets; L2: 32 lines in 16 sets)
@@ -137,7 +256,9 @@ def _build_trace(sm: int, accs) -> MemoryTrace:
 def test_random_streams_bit_identical(waves):
     ref = ReferenceEngine(MemoryHierarchy(_PROP_CFG))
     vec = VectorEngine(_PROP_CFG)
-    ref_stats, vec_stats = KernelStats(), KernelStats()
+    fus = FusedEngine(_PROP_CFG)
+    ref_stats, vec_stats, fus_stats = (KernelStats(), KernelStats(),
+                                       KernelStats())
     for wave in waves:
         traces = [_build_trace(w % _PROP_CFG.num_sms, accs)
                   for w, accs in enumerate(wave)]
@@ -145,7 +266,11 @@ def test_random_streams_bit_identical(waves):
         # waves in both (caches are not flushed between kernels)
         ref.replay_wave(traces, ref_stats)
         vec.replay_wave(traces, vec_stats)
+        fus.replay_wave(traces, fus_stats)
     assert vec_stats == ref_stats
+    assert fus_stats == ref_stats
     # row-buffer state must agree too, not just the counters so far
     assert vec.dram_row_hits == ref.hierarchy.dram_row_hits
     assert vec._open_rows == ref.hierarchy._open_rows
+    assert fus.dram_row_hits == ref.hierarchy.dram_row_hits
+    assert fus._open_rows == ref.hierarchy._open_rows

@@ -202,3 +202,32 @@ def test_import_rejects_unknown_schema(db, tmp_path):
     path = _write(tmp_path, "BENCH_weird.json", {"schema": "nope/9"})
     with pytest.raises(ResultDBError, match="unknown BENCH schema"):
         import_bench_file(db, path)
+
+
+def test_selfbench_records_into_db(tmp_path):
+    # the selfbench writer doubles as a recorder: with db_path set the
+    # BENCH report is imported into the sweep DB in the same call
+    from repro.harness.selfbench import run_selfbench
+
+    out = tmp_path / "BENCH_pipeline.json"
+    dbp = tmp_path / "results.sqlite"
+    report = run_selfbench(workloads=["TRAF"], techniques=("cuda",),
+                           scale=0.05, output=str(out),
+                           db_path=str(dbp))
+    assert report["resultdb"]["kind"] == "bench-pipeline"
+    # one point per (engine, workload, technique) run
+    assert report["resultdb"]["points"] == len(report["runs"])
+    with ResultDB(dbp) as db:
+        rows = db.query_rows(sweep="bench:pipeline")
+        assert {r["engine"] for r in rows} == {"reference", "vector",
+                                               "fused"}
+        assert all(r["workload"] == "TRAF" for r in rows)
+
+
+def test_selfbench_without_db_path_records_nothing(tmp_path):
+    from repro.harness.selfbench import run_selfbench
+
+    out = tmp_path / "BENCH_pipeline.json"
+    report = run_selfbench(workloads=["TRAF"], techniques=("cuda",),
+                           scale=0.05, output=str(out))
+    assert "resultdb" not in report
